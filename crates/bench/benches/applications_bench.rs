@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the downstream application simulators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcfail_checkpoint::sim::{simulate, JobConfig};
+use hpcfail_checkpoint::strategies::Periodic;
+use hpcfail_sched::policy::RandomPlacement;
+use hpcfail_sched::sim::{run, Job, NodeTruth, SimConfig};
+use hpcfail_stats::dist::{Continuous, Exponential, Weibull};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_checkpoint_sim(c: &mut Criterion) {
+    let job = JobConfig {
+        total_work_secs: 60.0 * 86_400.0,
+        checkpoint_cost_secs: 300.0,
+        restart_cost_secs: 300.0,
+    };
+    let tbf = Weibull::new(0.75, 4.0 * 86_400.0).unwrap();
+    let repair = Exponential::from_mean(3_600.0).unwrap();
+    let tau = hpcfail_checkpoint::daly::young_interval(300.0, tbf.mean()).unwrap();
+    let strategy = Periodic::new(tau).unwrap();
+    c.bench_function("checkpoint_sim_60day_job", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            simulate(
+                black_box(&job),
+                black_box(&strategy),
+                black_box(&tbf),
+                black_box(&repair),
+                &mut rng,
+            )
+            .unwrap()
+        });
+    });
+}
+
+fn bench_sched_sim(c: &mut Criterion) {
+    let nodes = vec![
+        NodeTruth {
+            failures_per_year: 12.0,
+            weibull_shape: 0.75
+        };
+        32
+    ];
+    let jobs = vec![
+        Job {
+            width: 2,
+            work_secs: 24.0 * 3_600.0
+        };
+        50
+    ];
+    let config = SimConfig {
+        mean_repair_secs: 6.0 * 3_600.0,
+        horizon_secs: hpcfail_records::time::YEAR as f64,
+        seed: 1,
+    };
+    let mut group = c.benchmark_group("sched_sim");
+    group.sample_size(20);
+    group.bench_function("32_nodes_50_jobs", |b| {
+        b.iter(|| {
+            run(
+                black_box(&nodes),
+                &RandomPlacement,
+                black_box(&jobs),
+                &config,
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint_sim, bench_sched_sim);
+criterion_main!(benches);

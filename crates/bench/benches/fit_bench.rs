@@ -1,0 +1,85 @@
+//! Criterion benchmarks of the statistics substrate: MLE fitting and
+//! goodness-of-fit over sample sizes typical of the paper's analyses
+//! (hundreds of per-node gaps up to tens of thousands of repair times).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpcfail_stats::dist::{sample_n, LogNormal, Weibull};
+use hpcfail_stats::ecdf::Ecdf;
+use hpcfail_stats::fit::fit_paper_set;
+use hpcfail_stats::gof::ks_statistic;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn weibull_data(n: usize) -> Vec<f64> {
+    let truth = Weibull::new(0.75, 86_400.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    sample_n(&truth, n, &mut rng)
+}
+
+fn bench_weibull_mle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weibull_mle");
+    for &n in &[100usize, 1_000, 10_000] {
+        let data = weibull_data(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| Weibull::fit_mle(black_box(data)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_lognormal_mle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lognormal_mle");
+    for &n in &[1_000usize, 10_000] {
+        let truth = LogNormal::new(4.0, 1.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = sample_n(&truth, n, &mut rng);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| LogNormal::fit_mle(black_box(data)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit_paper_set(c: &mut Criterion) {
+    // The full four-family comparison of Figs. 6 and 7(a).
+    let mut group = c.benchmark_group("fit_paper_set");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        let data = weibull_data(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| fit_paper_set(black_box(data)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_ks_statistic(c: &mut Criterion) {
+    let data = weibull_data(10_000);
+    let ecdf = Ecdf::new(&data).unwrap();
+    let dist = Weibull::fit_mle(&data).unwrap();
+    c.bench_function("ks_statistic_10k", |b| {
+        b.iter(|| ks_statistic(black_box(&ecdf), black_box(&dist)));
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let dist = Weibull::new(0.75, 86_400.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("weibull_sample_1k", |b| {
+        b.iter(|| sample_n(black_box(&dist), 1_000, &mut rng));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_weibull_mle,
+    bench_lognormal_mle,
+    bench_fit_paper_set,
+    bench_ks_statistic,
+    bench_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the synthetic trace generator: per-system
+//! and full-site generation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcfail_records::{Catalog, SystemId};
+use hpcfail_synth::config::Calibration;
+use hpcfail_synth::TraceGenerator;
+use std::hint::black_box;
+
+fn bench_system_generation(c: &mut Criterion) {
+    let catalog = Catalog::lanl();
+    let calibration = Calibration::lanl();
+    let generator = TraceGenerator::new(&catalog, &calibration).unwrap();
+    let mut group = c.benchmark_group("generate_system");
+    group.sample_size(10);
+    // Small (32 nodes), mid (256 nodes), large-busy (1024 nodes, 1159/yr).
+    for &sys in &[12u32, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(sys), &sys, |b, &sys| {
+            b.iter(|| {
+                generator
+                    .system_trace(black_box(SystemId::new(sys)), 42)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_site_generation(c: &mut Criterion) {
+    let catalog = Catalog::lanl();
+    let calibration = Calibration::lanl();
+    let generator = TraceGenerator::new(&catalog, &calibration).unwrap();
+    let mut group = c.benchmark_group("generate_site");
+    group.sample_size(10);
+    group.bench_function("all_22_systems", |b| {
+        b.iter(|| generator.site_trace(black_box(42)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_system_generation, bench_site_generation);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! # hpcfail-bench
+//!
+//! The experiment harness: `cargo run -p hpcfail-bench --bin repro`
+//! regenerates every table and figure of the paper (see EXPERIMENTS.md),
+//! and the Criterion benches measure the toolkit itself (fitting,
+//! generation, analysis, application simulators).

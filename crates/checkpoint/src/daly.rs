@@ -1,0 +1,150 @@
+//! Closed-form checkpoint-interval formulas.
+//!
+//! The classical results assume **exponential** (memoryless) failures
+//! with mean time between failures `M` and checkpoint cost `δ`:
+//! Young's first-order optimum `τ = √(2δM)` and Daly's higher-order
+//! refinement. The paper's finding that HPC failures are Weibull with
+//! decreasing hazard (shape 0.7–0.8) is exactly why these formulas are
+//! only a baseline — see [`crate::study`] for the comparison.
+
+use crate::error::CheckpointError;
+
+/// Young's first-order optimal checkpoint interval `τ = √(2 δ M)`.
+///
+/// `checkpoint_cost` (δ) and `mtbf` (M) are in the same time unit; the
+/// result shares it.
+///
+/// # Errors
+///
+/// [`CheckpointError::InvalidParameter`] unless both inputs are finite
+/// and positive.
+pub fn young_interval(checkpoint_cost: f64, mtbf: f64) -> Result<f64, CheckpointError> {
+    validate(checkpoint_cost, mtbf)?;
+    Ok((2.0 * checkpoint_cost * mtbf).sqrt())
+}
+
+/// Daly's higher-order optimal interval:
+/// `τ = √(2δM) · [1 + ⅓√(δ/2M) + (1/9)(δ/2M)] − δ` for `δ < 2M`,
+/// falling back to `τ = M` when the checkpoint cost is enormous.
+///
+/// # Errors
+///
+/// [`CheckpointError::InvalidParameter`] unless both inputs are finite
+/// and positive.
+pub fn daly_interval(checkpoint_cost: f64, mtbf: f64) -> Result<f64, CheckpointError> {
+    validate(checkpoint_cost, mtbf)?;
+    if checkpoint_cost >= 2.0 * mtbf {
+        return Ok(mtbf);
+    }
+    let ratio = checkpoint_cost / (2.0 * mtbf);
+    let tau = (2.0 * checkpoint_cost * mtbf).sqrt() * (1.0 + ratio.sqrt() / 3.0 + ratio / 9.0)
+        - checkpoint_cost;
+    Ok(tau.max(checkpoint_cost))
+}
+
+/// Expected fraction of time wasted (checkpoint overhead + expected
+/// rework) for periodic checkpointing with interval `τ` under
+/// exponential failures — the objective both formulas minimize:
+/// `waste(τ) ≈ δ/τ + τ/(2M)` (first order).
+///
+/// # Errors
+///
+/// [`CheckpointError::InvalidParameter`] for non-positive inputs.
+pub fn expected_waste_fraction(
+    interval: f64,
+    checkpoint_cost: f64,
+    mtbf: f64,
+) -> Result<f64, CheckpointError> {
+    validate(checkpoint_cost, mtbf)?;
+    if !interval.is_finite() || interval <= 0.0 {
+        return Err(CheckpointError::InvalidParameter {
+            name: "interval",
+            value: interval,
+        });
+    }
+    Ok(checkpoint_cost / interval + interval / (2.0 * mtbf))
+}
+
+fn validate(checkpoint_cost: f64, mtbf: f64) -> Result<(), CheckpointError> {
+    if !checkpoint_cost.is_finite() || checkpoint_cost <= 0.0 {
+        return Err(CheckpointError::InvalidParameter {
+            name: "checkpoint_cost",
+            value: checkpoint_cost,
+        });
+    }
+    if !mtbf.is_finite() || mtbf <= 0.0 {
+        return Err(CheckpointError::InvalidParameter {
+            name: "mtbf",
+            value: mtbf,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_known_value() {
+        // δ = 5 min, M = 1000 min → τ = √10000 = 100 min.
+        let tau = young_interval(5.0, 1000.0).unwrap();
+        assert!((tau - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn young_minimizes_first_order_waste() {
+        let delta = 5.0;
+        let m = 1000.0;
+        let tau = young_interval(delta, m).unwrap();
+        let at_opt = expected_waste_fraction(tau, delta, m).unwrap();
+        for factor in [0.5, 0.8, 1.25, 2.0] {
+            let w = expected_waste_fraction(tau * factor, delta, m).unwrap();
+            assert!(
+                w >= at_opt - 1e-12,
+                "waste at {factor}τ ({w}) below optimum ({at_opt})"
+            );
+        }
+    }
+
+    #[test]
+    fn daly_close_to_young_for_small_cost() {
+        // For δ ≪ M the refinement barely moves the interval.
+        let y = young_interval(1.0, 100_000.0).unwrap();
+        let d = daly_interval(1.0, 100_000.0).unwrap();
+        assert!((d - y).abs() / y < 0.02, "young {y} vs daly {d}");
+    }
+
+    #[test]
+    fn daly_large_cost_fallback() {
+        let d = daly_interval(300.0, 100.0).unwrap();
+        assert_eq!(d, 100.0);
+    }
+
+    #[test]
+    fn daly_never_below_cost() {
+        let d = daly_interval(50.0, 60.0).unwrap();
+        assert!(d >= 50.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(young_interval(0.0, 100.0).is_err());
+        assert!(young_interval(5.0, -1.0).is_err());
+        assert!(young_interval(f64::NAN, 100.0).is_err());
+        assert!(daly_interval(0.0, 100.0).is_err());
+        assert!(expected_waste_fraction(0.0, 5.0, 100.0).is_err());
+        assert!(expected_waste_fraction(10.0, 5.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn waste_is_convex_around_optimum() {
+        let delta = 10.0;
+        let m = 3_600.0;
+        let tau = young_interval(delta, m).unwrap();
+        let w_lo = expected_waste_fraction(tau / 2.0, delta, m).unwrap();
+        let w_mid = expected_waste_fraction(tau, delta, m).unwrap();
+        let w_hi = expected_waste_fraction(tau * 2.0, delta, m).unwrap();
+        assert!(w_mid < w_lo && w_mid < w_hi);
+    }
+}

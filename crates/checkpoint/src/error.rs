@@ -1,0 +1,79 @@
+//! Error type for the checkpoint simulator.
+
+use std::fmt;
+
+/// Errors produced by the checkpoint simulator and interval formulas.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// A parameter was invalid (non-positive cost, zero work, …).
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The simulation did not finish within the configured failure budget
+    /// (the job keeps losing more work than it commits).
+    NoProgress {
+        /// Failures endured before giving up.
+        failures: u64,
+    },
+    /// A statistics component failed.
+    Stats(hpcfail_stats::StatsError),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            CheckpointError::NoProgress { failures } => {
+                write!(f, "job made no progress after {failures} failures")
+            }
+            CheckpointError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hpcfail_stats::StatsError> for CheckpointError {
+    fn from(e: hpcfail_stats::StatsError) -> Self {
+        CheckpointError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CheckpointError::InvalidParameter {
+            name: "tau",
+            value: -1.0
+        }
+        .to_string()
+        .contains("tau"));
+        assert!(CheckpointError::NoProgress { failures: 7 }
+            .to_string()
+            .contains('7'));
+        let e: CheckpointError = hpcfail_stats::StatsError::EmptySample.into();
+        assert!(e.to_string().contains("statistics"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CheckpointError>();
+    }
+}

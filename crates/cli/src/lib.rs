@@ -1,0 +1,551 @@
+//! # hpcfail-cli
+//!
+//! The `hpcfail` command-line tool: generate calibrated synthetic traces,
+//! summarize and analyze failure logs (native or LANL-style CSV), convert
+//! formats, and self-validate the generator.
+//!
+//! ```text
+//! hpcfail generate [--seed N] [--system ID] [--out FILE]
+//! hpcfail summary FILE
+//! hpcfail analyze FILE [--system ID]
+//! hpcfail findings FILE
+//! hpcfail import-lanl FILE [--out FILE]
+//! hpcfail validate [--seed N]
+//! ```
+//!
+//! The library surface exists so the command logic is unit-testable;
+//! `main.rs` is a thin wrapper.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::io::BufReader;
+use std::path::PathBuf;
+
+use hpcfail_core::report::{fmt_num, fmt_pct, TextTable};
+use hpcfail_core::{findings, rates, repair, rootcause, tbf};
+use hpcfail_records::io::{read_csv, write_csv};
+use hpcfail_records::io_lanl::read_lanl_csv;
+use hpcfail_records::{Catalog, FailureTrace, RootCause, SystemId};
+
+/// A CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code (2 = usage, 1 = runtime).
+    pub code: i32,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn usage_err(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+        code: 2,
+    }
+}
+
+fn run_err(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+        code: 1,
+    }
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+hpcfail — toolkit for Schroeder & Gibson's DSN 2006 HPC failure study
+
+USAGE:
+  hpcfail generate [--seed N] [--system ID] [--out FILE]
+      Generate a calibrated synthetic trace (whole site, or one system)
+      and write it as CSV to --out (default: stdout path 'trace.csv').
+  hpcfail summary FILE
+      Print the composition of a native-CSV trace.
+  hpcfail analyze FILE [--system ID]
+      Failure rates, repair statistics, and TBF fits for a trace.
+  hpcfail findings FILE
+      Check the paper's Section-8 conclusions against a trace.
+  hpcfail import-lanl FILE [--out FILE]
+      Convert a LANL-style export to the native CSV format.
+  hpcfail validate [--seed N]
+      Regenerate the site and check every calibration target.
+  hpcfail help
+      Show this message.";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `generate`
+    Generate {
+        /// RNG seed.
+        seed: u64,
+        /// Restrict to one system.
+        system: Option<u32>,
+        /// Output path.
+        out: PathBuf,
+    },
+    /// `summary FILE`
+    Summary(PathBuf),
+    /// `analyze FILE [--system ID]`
+    Analyze {
+        /// Input trace.
+        file: PathBuf,
+        /// Focus the TBF analysis on one system (default 20).
+        system: u32,
+    },
+    /// `findings FILE`
+    Findings(PathBuf),
+    /// `import-lanl FILE [--out FILE]`
+    ImportLanl {
+        /// LANL-style input.
+        file: PathBuf,
+        /// Native-CSV output path.
+        out: PathBuf,
+    },
+    /// `validate [--seed N]`
+    Validate {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `help`
+    Help,
+}
+
+/// Parse a command line (excluding argv\[0\]).
+///
+/// # Errors
+///
+/// [`CliError`] with code 2 and a usage-style message.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Err(usage_err(USAGE));
+    };
+    let rest: Vec<&String> = it.collect();
+    let flag_value = |name: &str| -> Result<Option<&String>, CliError> {
+        match rest.iter().position(|a| a.as_str() == name) {
+            Some(i) => match rest.get(i + 1) {
+                Some(v) => Ok(Some(v)),
+                None => Err(usage_err(format!("{name} requires a value"))),
+            },
+            None => Ok(None),
+        }
+    };
+    let positional = |skip_flags: &[&str]| -> Vec<&String> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < rest.len() {
+            let a = rest[i].as_str();
+            if skip_flags.contains(&a) {
+                i += 2;
+            } else if a.starts_with("--") {
+                i += 1;
+            } else {
+                out.push(rest[i]);
+                i += 1;
+            }
+        }
+        out
+    };
+    let parse_seed = |v: Option<&String>| -> Result<u64, CliError> {
+        match v {
+            Some(s) => s.parse().map_err(|_| usage_err(format!("bad seed {s:?}"))),
+            None => Ok(hpcfail_synth::scenario::DEFAULT_SEED),
+        }
+    };
+    let parse_system = |v: Option<&String>| -> Result<Option<u32>, CliError> {
+        v.map(|s| {
+            s.parse()
+                .map_err(|_| usage_err(format!("bad system id {s:?}")))
+        })
+        .transpose()
+    };
+
+    match cmd.as_str() {
+        "generate" => {
+            let seed = parse_seed(flag_value("--seed")?)?;
+            let system = parse_system(flag_value("--system")?)?;
+            let out = flag_value("--out")?
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("trace.csv"));
+            Ok(Command::Generate { seed, system, out })
+        }
+        "summary" => {
+            let pos = positional(&[]);
+            match pos.as_slice() {
+                [file] => Ok(Command::Summary(PathBuf::from(file.as_str()))),
+                _ => Err(usage_err("summary requires exactly one FILE")),
+            }
+        }
+        "analyze" => {
+            let system = parse_system(flag_value("--system")?)?.unwrap_or(20);
+            let pos = positional(&["--system"]);
+            match pos.as_slice() {
+                [file] => Ok(Command::Analyze {
+                    file: PathBuf::from(file.as_str()),
+                    system,
+                }),
+                _ => Err(usage_err("analyze requires exactly one FILE")),
+            }
+        }
+        "findings" => {
+            let pos = positional(&[]);
+            match pos.as_slice() {
+                [file] => Ok(Command::Findings(PathBuf::from(file.as_str()))),
+                _ => Err(usage_err("findings requires exactly one FILE")),
+            }
+        }
+        "import-lanl" => {
+            let out = flag_value("--out")?
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("imported.csv"));
+            let pos = positional(&["--out"]);
+            match pos.as_slice() {
+                [file] => Ok(Command::ImportLanl {
+                    file: PathBuf::from(file.as_str()),
+                    out,
+                }),
+                _ => Err(usage_err("import-lanl requires exactly one FILE")),
+            }
+        }
+        "validate" => Ok(Command::Validate {
+            seed: parse_seed(flag_value("--seed")?)?,
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(usage_err(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+/// Execute a command, returning the text to print.
+///
+/// # Errors
+///
+/// [`CliError`] with an exit code; callers print the message to stderr.
+pub fn execute(command: &Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Generate { seed, system, out } => generate(*seed, *system, out),
+        Command::Summary(file) => summary(&load(file)?),
+        Command::Analyze { file, system } => analyze(&load(file)?, *system),
+        Command::Findings(file) => check_findings(&load(file)?),
+        Command::ImportLanl { file, out } => import_lanl(file, out),
+        Command::Validate { seed } => validate(*seed),
+    }
+}
+
+fn load(path: &PathBuf) -> Result<FailureTrace, CliError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| run_err(format!("cannot open {}: {e}", path.display())))?;
+    read_csv(BufReader::new(file))
+        .map_err(|e| run_err(format!("cannot parse {}: {e}", path.display())))
+}
+
+fn generate(seed: u64, system: Option<u32>, out: &PathBuf) -> Result<String, CliError> {
+    let trace = match system {
+        Some(id) => hpcfail_synth::scenario::system_trace(SystemId::new(id), seed),
+        None => hpcfail_synth::scenario::site_trace(seed),
+    }
+    .map_err(|e| run_err(format!("generation failed: {e}")))?;
+    let file = std::fs::File::create(out)
+        .map_err(|e| run_err(format!("cannot create {}: {e}", out.display())))?;
+    write_csv(&trace, file).map_err(|e| run_err(format!("write failed: {e}")))?;
+    Ok(format!(
+        "wrote {} records to {}",
+        trace.len(),
+        out.display()
+    ))
+}
+
+fn summary(trace: &FailureTrace) -> Result<String, CliError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "records: {}", trace.len());
+    if let (Some(first), Some(last)) = (trace.first_start(), trace.last_start()) {
+        let _ = writeln!(out, "span:    {first} .. {last}");
+    }
+    let by_system = trace.count_by_system();
+    let _ = writeln!(out, "systems: {}", by_system.len());
+    let mut t = TextTable::new(&["cause", "records", "share", "downtime share"]);
+    let breakdown = rootcause::CauseBreakdown::from_trace(trace);
+    for cause in RootCause::ALL {
+        t.row(&[
+            cause.name(),
+            &breakdown.count(cause).to_string(),
+            &fmt_pct(breakdown.fraction_of_failures(cause)),
+            &fmt_pct(breakdown.fraction_of_downtime(cause)),
+        ]);
+    }
+    let _ = write!(out, "{}", t.render());
+    Ok(out)
+}
+
+fn analyze(trace: &FailureTrace, system: u32) -> Result<String, CliError> {
+    let catalog = Catalog::lanl();
+    let mut out = String::new();
+
+    let rate_analysis = rates::analyze(trace, &catalog)
+        .map_err(|e| run_err(format!("rate analysis failed: {e}")))?;
+    let mut t = TextTable::new(&["system", "failures/yr", "per proc/yr"]);
+    for r in rate_analysis.rates.iter().filter(|r| r.failures > 0) {
+        t.row(&[
+            &r.system.to_string(),
+            &fmt_num(r.per_year),
+            &fmt_num(r.per_proc_year),
+        ]);
+    }
+    let _ = writeln!(out, "failure rates (fig 2):\n{}", t.render());
+
+    let table =
+        repair::by_cause(trace).map_err(|e| run_err(format!("repair analysis failed: {e}")))?;
+    let mut t = TextTable::new(&["cause", "mean (min)", "median (min)", "C^2"]);
+    for row in &table.rows {
+        let cause = row.cause.map(|c| c.to_string()).unwrap_or_default();
+        t.row(&[
+            &cause,
+            &fmt_num(row.summary.mean),
+            &fmt_num(row.summary.median),
+            &fmt_num(row.summary.c2),
+        ]);
+    }
+    let _ = writeln!(out, "repair times (table 2):\n{}", t.render());
+
+    match tbf::analyze(trace, tbf::View::SystemWide(SystemId::new(system)), None) {
+        Ok(a) => {
+            let _ = writeln!(
+                out,
+                "time between failures, system {system} (fig 6): {} gaps, C^2 {:.2}, \
+                 zero-gap {}, weibull shape {}, hazard {}",
+                a.n,
+                a.c2,
+                fmt_pct(a.zero_fraction),
+                a.weibull_shape
+                    .map(|s| format!("{s:.2}"))
+                    .unwrap_or_default(),
+                a.hazard_trend
+            );
+            for c in &a.fits.candidates {
+                let _ = writeln!(
+                    out,
+                    "  fit {:<12} NLL {:.0}  KS {:.3}",
+                    c.family, c.nll, c.ks
+                );
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "time between failures, system {system}: {e}");
+        }
+    }
+    Ok(out)
+}
+
+fn check_findings(trace: &FailureTrace) -> Result<String, CliError> {
+    let catalog = Catalog::lanl();
+    let result = findings::evaluate(trace, &catalog)
+        .map_err(|e| run_err(format!("findings evaluation failed: {e}")))?;
+    let mut out = String::new();
+    for f in &result.findings {
+        let _ = writeln!(out, "[{}] {}", if f.holds { "ok" } else { "--" }, f.claim);
+        let _ = writeln!(out, "     {}", f.evidence);
+    }
+    let _ = writeln!(out, "all conclusions hold: {}", result.all_hold());
+    Ok(out)
+}
+
+fn import_lanl(file: &PathBuf, out: &PathBuf) -> Result<String, CliError> {
+    let input = std::fs::File::open(file)
+        .map_err(|e| run_err(format!("cannot open {}: {e}", file.display())))?;
+    let import = read_lanl_csv(BufReader::new(input))
+        .map_err(|e| run_err(format!("cannot parse {}: {e}", file.display())))?;
+    let output = std::fs::File::create(out)
+        .map_err(|e| run_err(format!("cannot create {}: {e}", out.display())))?;
+    write_csv(&import.trace, output).map_err(|e| run_err(format!("write failed: {e}")))?;
+    Ok(format!(
+        "imported {} records ({} glitched rows skipped) -> {}",
+        import.trace.len(),
+        import.skipped_inverted,
+        out.display()
+    ))
+}
+
+fn validate(seed: u64) -> Result<String, CliError> {
+    let report = hpcfail_synth::validate::validate_lanl(seed)
+        .map_err(|e| run_err(format!("validation failed: {e}")))?;
+    let mut out = String::new();
+    let failures = report.failures();
+    let _ = writeln!(
+        out,
+        "{} calibration targets checked, {} failed",
+        report.checks.len(),
+        failures.len()
+    );
+    for c in &failures {
+        let _ = writeln!(
+            out,
+            "FAIL {}: expected {:.1}, measured {:.1} (tolerance {:.0}%)",
+            c.target,
+            c.expected,
+            c.measured,
+            c.tolerance * 100.0
+        );
+    }
+    if failures.is_empty() {
+        let _ = writeln!(out, "generator matches the paper's reported statistics");
+        Ok(out)
+    } else {
+        Err(run_err(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_generate_defaults_and_flags() {
+        let cmd = parse(&args(&["generate"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                seed: hpcfail_synth::scenario::DEFAULT_SEED,
+                system: None,
+                out: PathBuf::from("trace.csv"),
+            }
+        );
+        let cmd = parse(&args(&[
+            "generate", "--seed", "7", "--system", "20", "--out", "x.csv",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                seed: 7,
+                system: Some(20),
+                out: PathBuf::from("x.csv")
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(parse(&args(&[])).unwrap_err().code, 2);
+        assert_eq!(parse(&args(&["bogus"])).unwrap_err().code, 2);
+        assert_eq!(parse(&args(&["generate", "--seed"])).unwrap_err().code, 2);
+        assert_eq!(
+            parse(&args(&["generate", "--seed", "x"])).unwrap_err().code,
+            2
+        );
+        assert_eq!(parse(&args(&["summary"])).unwrap_err().code, 2);
+        assert_eq!(parse(&args(&["summary", "a", "b"])).unwrap_err().code, 2);
+        assert_eq!(
+            parse(&args(&["analyze", "--system", "nope", "f.csv"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+    }
+
+    #[test]
+    fn parse_file_commands() {
+        assert_eq!(
+            parse(&args(&["summary", "t.csv"])).unwrap(),
+            Command::Summary(PathBuf::from("t.csv"))
+        );
+        assert_eq!(
+            parse(&args(&["analyze", "t.csv"])).unwrap(),
+            Command::Analyze {
+                file: PathBuf::from("t.csv"),
+                system: 20
+            }
+        );
+        assert_eq!(
+            parse(&args(&["analyze", "--system", "7", "t.csv"])).unwrap(),
+            Command::Analyze {
+                file: PathBuf::from("t.csv"),
+                system: 7
+            }
+        );
+        assert_eq!(
+            parse(&args(&["import-lanl", "raw.csv", "--out", "native.csv"])).unwrap(),
+            Command::ImportLanl {
+                file: PathBuf::from("raw.csv"),
+                out: PathBuf::from("native.csv"),
+            }
+        );
+        assert_eq!(parse(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn help_is_printable() {
+        let text = execute(&Command::Help).unwrap();
+        assert!(text.contains("generate"));
+        assert!(text.contains("import-lanl"));
+    }
+
+    #[test]
+    fn generate_summary_analyze_round_trip() {
+        let dir = std::env::temp_dir().join("hpcfail_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sys12.csv");
+        // Generate one small system.
+        let msg = execute(&Command::Generate {
+            seed: 42,
+            system: Some(12),
+            out: path.clone(),
+        })
+        .unwrap();
+        assert!(msg.contains("wrote"));
+        // Summarize it.
+        let text = execute(&Command::Summary(path.clone())).unwrap();
+        assert!(text.contains("records:"));
+        assert!(text.contains("hardware"));
+        // Analyze it (system 12 is the one present).
+        let text = execute(&Command::Analyze {
+            file: path.clone(),
+            system: 12,
+        })
+        .unwrap();
+        assert!(text.contains("failure rates"));
+        assert!(text.contains("repair times"));
+        assert!(text.contains("weibull"), "{text}");
+    }
+
+    #[test]
+    fn missing_file_is_a_runtime_error() {
+        let err = execute(&Command::Summary(PathBuf::from("/nonexistent/x.csv"))).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("cannot open"));
+    }
+
+    #[test]
+    fn import_lanl_round_trip() {
+        let dir = std::env::temp_dir().join("hpcfail_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw_lanl.csv");
+        std::fs::write(
+            &raw,
+            "system,node,started,fixed,cause\n20,22,06/28/1999 14:30,06/28/1999 20:45,hardware\n",
+        )
+        .unwrap();
+        let out = dir.join("native.csv");
+        let msg = execute(&Command::ImportLanl {
+            file: raw,
+            out: out.clone(),
+        })
+        .unwrap();
+        assert!(msg.contains("imported 1 records"));
+        let text = execute(&Command::Summary(out)).unwrap();
+        assert!(text.contains("records: 1"));
+    }
+}

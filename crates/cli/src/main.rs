@@ -1,0 +1,19 @@
+//! The `hpcfail` binary: thin wrapper over [`hpcfail_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match hpcfail_cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(e.code);
+        }
+    };
+    match hpcfail_cli::execute(&command) {
+        Ok(text) => println!("{text}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The paper's Section-8 summary, checked programmatically.
+//!
+//! [`evaluate`] runs every analysis over a trace and reduces the results
+//! to the paper's bullet-point conclusions, each with the measured value
+//! attached — the one-call acceptance check for any trace (synthetic or
+//! a real ingested log).
+
+use hpcfail_records::{Catalog, FailureTrace, RootCause, SystemId};
+use hpcfail_stats::fit::Family;
+
+use crate::error::AnalysisError;
+use crate::{periodic, rates, repair, rootcause, tbf};
+
+/// One checked conclusion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Short identifier (e.g. "weibull-tbf").
+    pub id: &'static str,
+    /// The paper's claim, paraphrased.
+    pub claim: &'static str,
+    /// Whether the trace supports the claim.
+    pub holds: bool,
+    /// The measured evidence, human-readable.
+    pub evidence: String,
+}
+
+/// The full Section-8 summary over one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Findings {
+    /// Individual conclusions, in the paper's order.
+    pub findings: Vec<Finding>,
+}
+
+impl Findings {
+    /// Whether every conclusion holds.
+    pub fn all_hold(&self) -> bool {
+        self.findings.iter().all(|f| f.holds)
+    }
+
+    /// Look up one finding by id.
+    pub fn get(&self, id: &str) -> Option<&Finding> {
+        self.findings.iter().find(|f| f.id == id)
+    }
+}
+
+/// Evaluate the paper's summary conclusions against a trace.
+///
+/// Uses system 20 for the TBF-era conclusions (the paper's running
+/// example); a trace without enough system-20 data records those findings
+/// as not holding rather than erroring.
+///
+/// # Errors
+///
+/// Propagates failures of the rate/repair/periodic analyses (e.g. an
+/// empty trace).
+pub fn evaluate(trace: &FailureTrace, catalog: &Catalog) -> Result<Findings, AnalysisError> {
+    let mut findings = Vec::new();
+
+    // "Failure rates vary widely across systems, 20 to >1000 per year."
+    let rate_analysis = rates::analyze(trace, catalog)?;
+    let (min, max) = rate_analysis.per_year_range();
+    findings.push(Finding {
+        id: "rate-range",
+        claim: "failure rates vary widely across systems (paper: ~20 to >1000/year)",
+        holds: max / min.max(1.0) > 10.0 && max > 500.0,
+        evidence: format!("{min:.0} to {max:.0} failures/year"),
+    });
+
+    // "Failure rate roughly proportional to number of processors."
+    let raw = rate_analysis.raw_variability();
+    let norm = rate_analysis.normalized_variability();
+    findings.push(Finding {
+        id: "rate-linear-in-size",
+        claim: "failure rate grows roughly linearly with processor count",
+        holds: norm < raw,
+        evidence: format!("C² across systems {raw:.2} raw vs {norm:.2} per-processor"),
+    });
+
+    // "Correlation between failure rate and workload type/intensity."
+    let pattern = periodic::analyze(trace)?;
+    let hour = pattern.hourly_peak_to_trough();
+    let week = pattern.weekday_to_weekend();
+    findings.push(Finding {
+        id: "workload-correlation",
+        claim: "failure rate correlates with workload intensity (daily/weekly rhythm)",
+        holds: hour > 1.3 && week > 1.3,
+        evidence: format!("hourly peak/trough {hour:.2}, weekday/weekend {week:.2}"),
+    });
+
+    // "TBF not exponential; Weibull/gamma with decreasing hazard."
+    let sys20 = SystemId::new(20);
+    let (_, late) = tbf::paper_era_split();
+    let tbf_finding = match tbf::analyze(trace, tbf::View::SystemWide(sys20), Some(late)) {
+        Ok(a) => {
+            let best = a.fits.best().map(|c| c.family);
+            let weibull_like = best == Some(Family::Weibull) || best == Some(Family::Gamma);
+            Finding {
+                id: "weibull-tbf",
+                claim: "time between failures is Weibull/gamma with decreasing hazard, \
+                        not exponential",
+                holds: weibull_like && a.has_decreasing_hazard(),
+                evidence: format!(
+                    "best fit {:?}, weibull shape {:?}, hazard {}",
+                    best, a.weibull_shape, a.hazard_trend
+                ),
+            }
+        }
+        Err(e) => Finding {
+            id: "weibull-tbf",
+            claim: "time between failures is Weibull/gamma with decreasing hazard, \
+                    not exponential",
+            holds: false,
+            evidence: format!("not evaluable: {e}"),
+        },
+    };
+    findings.push(tbf_finding);
+
+    // "Mean repair times vary widely across systems, driven by type."
+    let per_system = repair::by_system(trace, catalog);
+    let effect = repair::type_effect(&per_system);
+    findings.push(Finding {
+        id: "repair-type-effect",
+        claim: "mean repair time varies widely across systems and depends on \
+                hardware type, not size",
+        holds: effect.across_all_spread > 2.0
+            && effect.max_within_type_spread < effect.across_all_spread,
+        evidence: format!(
+            "{:.1}x across systems, ≤{:.1}x within a type",
+            effect.across_all_spread, effect.max_within_type_spread
+        ),
+    });
+
+    // "Repair times lognormal, extremely variable."
+    let fit = repair::fit_all_repairs(trace)?;
+    let lognormal_best = fit.best().map(|c| c.family) == Some(Family::LogNormal);
+    let table = repair::by_cause(trace)?;
+    findings.push(Finding {
+        id: "lognormal-repair",
+        claim: "repair times are better modeled by a lognormal than an exponential \
+                and are extremely variable",
+        holds: lognormal_best && table.all.summary.c2 > 3.0,
+        evidence: format!(
+            "best fit {:?}, aggregate C² {:.1}",
+            fit.best().map(|c| c.family),
+            table.all.summary.c2
+        ),
+    });
+
+    // "Hardware and software are the largest contributors."
+    let breakdown = rootcause::CauseBreakdown::from_trace(trace);
+    let hw = breakdown.fraction_of_failures(RootCause::Hardware);
+    let sw = breakdown.fraction_of_failures(RootCause::Software);
+    findings.push(Finding {
+        id: "hardware-software-lead",
+        claim: "hardware and software are among the largest contributors to failures",
+        holds: hw > 0.25 && hw + sw > 0.4,
+        evidence: format!("hardware {:.0}%, software {:.0}%", hw * 100.0, sw * 100.0),
+    });
+
+    Ok(Findings { findings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_findings_hold_on_calibrated_trace() {
+        let catalog = Catalog::lanl();
+        let trace = hpcfail_synth::scenario::site_trace(42).unwrap();
+        let findings = evaluate(&trace, &catalog).unwrap();
+        assert_eq!(findings.findings.len(), 7);
+        for f in &findings.findings {
+            assert!(f.holds, "{}: {}", f.id, f.evidence);
+        }
+        assert!(findings.all_hold());
+        assert!(findings.get("weibull-tbf").is_some());
+        assert!(findings.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn exponential_world_fails_the_weibull_finding() {
+        // A memoryless, homogeneous, flat-rate synthetic world should
+        // violate several of the paper's conclusions — evidence that the
+        // checker actually discriminates.
+        use hpcfail_records::{DetailedCause, FailureRecord, NodeId, Timestamp, Workload};
+        use hpcfail_stats::dist::{Continuous, Exponential};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let catalog = Catalog::lanl();
+        let spec = catalog.system(SystemId::new(20)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let gap = Exponential::from_mean(6.0 * 3_600.0).unwrap();
+        let mut t = spec.production_start().as_secs() as f64;
+        let mut records = Vec::new();
+        let end = spec.production_end().as_secs() as f64;
+        let mut node = 0u32;
+        while t < end {
+            t += gap.sample(&mut rng);
+            if t >= end {
+                break;
+            }
+            let at = Timestamp::from_secs(t as u64);
+            records.push(
+                FailureRecord::new(
+                    SystemId::new(20),
+                    NodeId::new(node % spec.nodes()),
+                    at,
+                    at + 3_600,
+                    Workload::Compute,
+                    DetailedCause::Memory,
+                )
+                .unwrap(),
+            );
+            node += 1;
+        }
+        let trace = hpcfail_records::FailureTrace::from_records(records);
+        let findings = evaluate(&trace, &catalog).unwrap();
+        // The flat exponential world has no daily rhythm and (being
+        // memoryless) no decreasing hazard...
+        assert!(!findings.get("workload-correlation").unwrap().holds);
+        // ...and constant-duration repairs are not lognormal-ish.
+        assert!(!findings.get("lognormal-repair").unwrap().holds);
+        assert!(!findings.all_hold());
+    }
+}

@@ -1,0 +1,228 @@
+//! Table 3 — the overview of related failure studies, as structured data.
+//!
+//! The paper's Table 3 is a literature survey; reproducing it means
+//! carrying the same rows so the comparison harness can print them and
+//! downstream code can reason about them (e.g. which studies report root
+//! causes vs time between failures).
+
+/// What kind of statistics a related study reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StudyStatistic {
+    /// Root-cause breakdowns.
+    RootCause,
+    /// Time between failures.
+    TimeBetweenFailures,
+    /// Time to repair.
+    TimeToRepair,
+    /// Workload/utilization correlation.
+    Utilization,
+}
+
+/// One row of Table 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelatedStudy {
+    /// Citation keys as printed in the paper (e.g. "[3, 4]").
+    pub citation: &'static str,
+    /// Publication year.
+    pub year: u16,
+    /// Length of the data collection.
+    pub length: &'static str,
+    /// The measured environment.
+    pub environment: &'static str,
+    /// Type of data used.
+    pub data_type: &'static str,
+    /// Number of failures, if reported.
+    pub failures: Option<u32>,
+    /// Statistics reported.
+    pub statistics: &'static [StudyStatistic],
+}
+
+/// The rows of Table 3, in the paper's order.
+pub fn table3() -> Vec<RelatedStudy> {
+    use StudyStatistic::*;
+    vec![
+        RelatedStudy {
+            citation: "[3, 4]",
+            year: 1990,
+            length: "3 years",
+            environment: "Tandem systems",
+            data_type: "Customer data",
+            failures: Some(800),
+            statistics: &[RootCause],
+        },
+        RelatedStudy {
+            citation: "[7]",
+            year: 1999,
+            length: "6 months",
+            environment: "70 Windows NT mail server",
+            data_type: "Error logs",
+            failures: Some(1100),
+            statistics: &[RootCause],
+        },
+        RelatedStudy {
+            citation: "[16]",
+            year: 2003,
+            length: "3-6 months",
+            environment: "3000 machines in Internet services",
+            data_type: "Error logs",
+            failures: Some(501),
+            statistics: &[RootCause],
+        },
+        RelatedStudy {
+            citation: "[13]",
+            year: 1995,
+            length: "7 years",
+            environment: "VAX systems",
+            data_type: "Field data",
+            failures: None,
+            statistics: &[RootCause],
+        },
+        RelatedStudy {
+            citation: "[19]",
+            year: 1990,
+            length: "8 months",
+            environment: "7 VAX systems",
+            data_type: "Error logs",
+            failures: Some(364),
+            statistics: &[TimeBetweenFailures],
+        },
+        RelatedStudy {
+            citation: "[9]",
+            year: 1990,
+            length: "22 months",
+            environment: "13 VICE file servers",
+            data_type: "Error logs",
+            failures: Some(300),
+            statistics: &[TimeBetweenFailures],
+        },
+        RelatedStudy {
+            citation: "[6]",
+            year: 1986,
+            length: "3 years",
+            environment: "2 IBM 370/169 mainframes",
+            data_type: "Error logs",
+            failures: Some(456),
+            statistics: &[TimeBetweenFailures],
+        },
+        RelatedStudy {
+            citation: "[18]",
+            year: 2004,
+            length: "1 year",
+            environment: "395 nodes in machine room",
+            data_type: "Error logs",
+            failures: Some(1285),
+            statistics: &[TimeBetweenFailures],
+        },
+        RelatedStudy {
+            citation: "[5]",
+            year: 2002,
+            length: "1-36 months",
+            environment: "70 nodes in university and Internet services",
+            data_type: "Error logs",
+            failures: Some(3200),
+            statistics: &[TimeBetweenFailures],
+        },
+        RelatedStudy {
+            citation: "[24]",
+            year: 1999,
+            length: "4 months",
+            environment: "503 nodes in corporate envr.",
+            data_type: "Error logs",
+            failures: Some(2127),
+            statistics: &[TimeBetweenFailures],
+        },
+        RelatedStudy {
+            citation: "[15]",
+            year: 2005,
+            length: "6-8 weeks",
+            environment: "300 university cluster and Condor nodes",
+            data_type: "Custom monitoring",
+            failures: None,
+            statistics: &[TimeBetweenFailures],
+        },
+        RelatedStudy {
+            citation: "[10]",
+            year: 1995,
+            length: "3 months",
+            environment: "1170 internet hosts",
+            data_type: "RPC polling",
+            failures: None,
+            statistics: &[TimeBetweenFailures, TimeToRepair],
+        },
+        RelatedStudy {
+            citation: "[2]",
+            year: 1980,
+            length: "1 month",
+            environment: "PDP-10 with KL10 processor",
+            data_type: "N/A",
+            failures: None,
+            statistics: &[TimeBetweenFailures, Utilization],
+        },
+    ]
+}
+
+/// The headline comparison the paper draws: this study versus the largest
+/// related study, by failure count and time span.
+pub fn lanl_advantage() -> (u32, u32) {
+    let lanl_failures = 23_000u32;
+    let largest_related = table3()
+        .iter()
+        .filter_map(|s| s.failures)
+        .max()
+        .unwrap_or(0);
+    (lanl_failures, largest_related)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_rows_like_the_paper() {
+        assert_eq!(table3().len(), 13);
+    }
+
+    #[test]
+    fn root_cause_studies() {
+        // Four studies include root cause statistics (Section 7).
+        let n = table3()
+            .iter()
+            .filter(|s| s.statistics.contains(&StudyStatistic::RootCause))
+            .count();
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn tbf_studies() {
+        let n = table3()
+            .iter()
+            .filter(|s| s.statistics.contains(&StudyStatistic::TimeBetweenFailures))
+            .count();
+        assert_eq!(n, 9);
+    }
+
+    #[test]
+    fn only_long_study_is_seven_years() {
+        let studies = table3();
+        let max_year_study = studies
+            .iter()
+            .find(|s| s.length == "7 years")
+            .expect("Murphy & Gent");
+        assert_eq!(max_year_study.citation, "[13]");
+    }
+
+    #[test]
+    fn lanl_is_largest() {
+        let (lanl, largest) = lanl_advantage();
+        assert_eq!(largest, 3200);
+        assert!(lanl > 7 * largest, "LANL dwarfs every related study");
+    }
+
+    #[test]
+    fn years_are_plausible() {
+        for s in table3() {
+            assert!((1980..=2005).contains(&s.year), "{}", s.citation);
+            assert!(!s.environment.is_empty());
+        }
+    }
+}

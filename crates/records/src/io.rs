@@ -1,0 +1,234 @@
+//! Plain-text (CSV) ingestion and export of failure traces.
+//!
+//! The format mirrors the fields of the published LANL data that this
+//! toolkit consumes — one record per line:
+//!
+//! ```text
+//! system,node,start_secs,end_secs,workload,detailed_cause
+//! 20,22,3155760,3177360,compute,memory
+//! ```
+//!
+//! `start_secs`/`end_secs` are seconds since the 1996-01-01 epoch
+//! (see [`crate::time::Timestamp`]). Lines starting with `#` and blank
+//! lines are skipped; a header line (starting with `system,`) is
+//! optional.
+
+use std::io::{BufRead, Write};
+
+use crate::cause::DetailedCause;
+use crate::error::RecordError;
+use crate::ids::{NodeId, SystemId};
+use crate::record::FailureRecord;
+use crate::time::Timestamp;
+use crate::trace::FailureTrace;
+use crate::workload::Workload;
+
+/// The CSV header written by [`write_csv`].
+pub const CSV_HEADER: &str = "system,node,start_secs,end_secs,workload,detailed_cause";
+
+const FIELDS: usize = 6;
+
+/// Parse one CSV line into a record. `line_no` is 1-based for error
+/// reporting.
+///
+/// # Errors
+///
+/// [`RecordError::WrongFieldCount`] or [`RecordError::MalformedLine`]
+/// pinpointing the offending line.
+pub fn parse_line(line: &str, line_no: usize) -> Result<FailureRecord, RecordError> {
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    if fields.len() != FIELDS {
+        return Err(RecordError::WrongFieldCount {
+            line: line_no,
+            expected: FIELDS,
+            got: fields.len(),
+        });
+    }
+    let wrap = |e: RecordError| RecordError::MalformedLine {
+        line: line_no,
+        reason: e.to_string(),
+    };
+    let system: SystemId = fields[0].parse().map_err(wrap)?;
+    let node: NodeId = fields[1].parse().map_err(wrap)?;
+    let start = fields[2]
+        .parse::<u64>()
+        .map_err(|_| RecordError::MalformedLine {
+            line: line_no,
+            reason: format!("could not parse start_secs from {:?}", fields[2]),
+        })?;
+    let end = fields[3]
+        .parse::<u64>()
+        .map_err(|_| RecordError::MalformedLine {
+            line: line_no,
+            reason: format!("could not parse end_secs from {:?}", fields[3]),
+        })?;
+    let workload: Workload = fields[4].parse().map_err(wrap)?;
+    let detail: DetailedCause = fields[5].parse().map_err(wrap)?;
+    FailureRecord::new(
+        system,
+        node,
+        Timestamp::from_secs(start),
+        Timestamp::from_secs(end),
+        workload,
+        detail,
+    )
+    .map_err(|e| RecordError::MalformedLine {
+        line: line_no,
+        reason: e.to_string(),
+    })
+}
+
+/// Render one record as a CSV line (no trailing newline).
+pub fn format_line(record: &FailureRecord) -> String {
+    format!(
+        "{},{},{},{},{},{}",
+        record.system(),
+        record.node(),
+        record.start().as_secs(),
+        record.end().as_secs(),
+        record.workload(),
+        record.detail()
+    )
+}
+
+/// Read a whole trace from a CSV reader.
+///
+/// # Errors
+///
+/// Propagates the first malformed line; I/O failures are surfaced as
+/// [`RecordError::MalformedLine`] with the I/O message.
+pub fn read_csv<R: BufRead>(reader: R) -> Result<FailureTrace, RecordError> {
+    let mut records = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.map_err(|e| RecordError::MalformedLine {
+            line: line_no,
+            reason: format!("io error: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with("system,") {
+            continue;
+        }
+        records.push(parse_line(trimmed, line_no)?);
+    }
+    Ok(FailureTrace::from_records(records))
+}
+
+/// Write a whole trace (with header) to a CSV writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_csv<W: Write>(trace: &FailureTrace, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "{CSV_HEADER}")?;
+    for r in trace.records() {
+        writeln!(writer, "{}", format_line(r))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cause::RootCause;
+
+    fn sample() -> FailureTrace {
+        let rec = |sys: u32, node: u32, start: u64, end: u64, d: DetailedCause| {
+            FailureRecord::new(
+                SystemId::new(sys),
+                NodeId::new(node),
+                Timestamp::from_secs(start),
+                Timestamp::from_secs(end),
+                Workload::Compute,
+                d,
+            )
+            .unwrap()
+        };
+        FailureTrace::from_records(vec![
+            rec(20, 22, 1_000, 22_600, DetailedCause::Memory),
+            rec(5, 0, 2_000, 3_000, DetailedCause::Scheduler),
+        ])
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let parsed = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn header_comments_blanks_skipped() {
+        let text = "\
+system,node,start_secs,end_secs,workload,detailed_cause
+# a comment
+
+20,22,1000,22600,compute,memory
+";
+        let t = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.records()[0].cause(), RootCause::Hardware);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let missing = "20,22,1000,22600,compute";
+        match read_csv(missing.as_bytes()) {
+            Err(RecordError::WrongFieldCount {
+                line: 1,
+                expected: 6,
+                got: 5,
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        let bad_num = "20,22,notanumber,22600,compute,memory\n";
+        assert!(matches!(
+            read_csv(bad_num.as_bytes()),
+            Err(RecordError::MalformedLine { line: 1, .. })
+        ));
+        let bad_cause = "20,22,1000,22600,compute,gremlins\n";
+        assert!(matches!(
+            read_csv(bad_cause.as_bytes()),
+            Err(RecordError::MalformedLine { line: 1, .. })
+        ));
+        let end_before_start = "20,22,5000,4000,compute,memory\n";
+        assert!(matches!(
+            read_csv(end_before_start.as_bytes()),
+            Err(RecordError::MalformedLine { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn error_line_numbers_count_all_lines() {
+        let text = "# comment\n20,22,1000,22600,compute,memory\nbadline\n";
+        match read_csv(text.as_bytes()) {
+            Err(RecordError::WrongFieldCount { line: 3, .. }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let text = " 20 , 22 , 1000 , 22600 , compute , memory \n";
+        let t = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_trace() {
+        let t = read_csv("".as_bytes()).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn format_line_matches_parse() {
+        let t = sample();
+        for (i, r) in t.records().iter().enumerate() {
+            let line = format_line(r);
+            let parsed = parse_line(&line, i + 1).unwrap();
+            assert_eq!(&parsed, r);
+        }
+    }
+}

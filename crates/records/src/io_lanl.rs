@@ -1,0 +1,400 @@
+//! Ingestion of LANL-style failure logs.
+//!
+//! The raw LANL release (LA-UR-05-7318, the data behind the paper) is a
+//! spreadsheet-style CSV with named columns and `MM/DD/YYYY HH:MM`
+//! timestamps. This adapter reads that style of file: it is
+//! **header-driven** (columns may appear in any order, extra columns are
+//! ignored) and maps LANL's root-cause vocabulary onto this crate's
+//! taxonomy.
+//!
+//! Required columns (case-insensitive):
+//!
+//! | column | content |
+//! |---|---|
+//! | `system` | system number (1–22 in the release) |
+//! | `node` / `nodenum` | node index within the system |
+//! | `started` / `failure start` | failure start, `MM/DD/YYYY HH:MM` or `YYYY-MM-DD HH:MM[:SS]` |
+//! | `fixed` / `failure end` / `problem fixed` | repair completion, same formats |
+//! | `cause` / `root cause` | one of LANL's categories (`facilities`, `hardware`, `human error`, `network`, `undetermined`, `software`) or any detailed cause name from this crate |
+//!
+//! Optional: `workload` / `node purpose` (`compute` / `graphics` / `fe`,
+//! defaults to `compute`).
+
+use std::collections::HashMap;
+use std::io::BufRead;
+
+use crate::cause::DetailedCause;
+use crate::error::RecordError;
+use crate::ids::{NodeId, SystemId};
+use crate::record::FailureRecord;
+use crate::time::Timestamp;
+use crate::trace::FailureTrace;
+use crate::workload::Workload;
+
+/// Read a LANL-style CSV with a header line.
+///
+/// Rows whose repair time precedes the failure start — present in the raw
+/// release due to clock and data-entry glitches — are skipped and counted
+/// in the returned report rather than failing the whole file.
+///
+/// # Errors
+///
+/// [`RecordError::MalformedLine`] for a missing/invalid header or an
+/// unparseable row.
+pub fn read_lanl_csv<R: BufRead>(reader: R) -> Result<LanlImport, RecordError> {
+    let mut lines = reader.lines().enumerate();
+    let header = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line.map_err(|e| io_err(i + 1, &e))?;
+                let trimmed = line.trim();
+                if trimmed.is_empty() || trimmed.starts_with('#') {
+                    continue;
+                }
+                break Header::parse(trimmed, i + 1)?;
+            }
+            None => {
+                return Err(RecordError::MalformedLine {
+                    line: 0,
+                    reason: "file has no header line".to_string(),
+                })
+            }
+        }
+    };
+
+    let mut records = Vec::new();
+    let mut skipped_inverted = 0usize;
+    for (i, line) in lines {
+        let line_no = i + 1;
+        let line = line.map_err(|e| io_err(line_no, &e))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match header.parse_row(trimmed, line_no)? {
+            Some(record) => records.push(record),
+            None => skipped_inverted += 1,
+        }
+    }
+    Ok(LanlImport {
+        trace: FailureTrace::from_records(records),
+        skipped_inverted,
+    })
+}
+
+/// The result of a LANL import.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LanlImport {
+    /// The parsed trace.
+    pub trace: FailureTrace,
+    /// Rows skipped because repair preceded failure (raw-data glitches).
+    pub skipped_inverted: usize,
+}
+
+fn io_err(line: usize, e: &std::io::Error) -> RecordError {
+    RecordError::MalformedLine {
+        line,
+        reason: format!("io error: {e}"),
+    }
+}
+
+#[derive(Debug)]
+struct Header {
+    system: usize,
+    node: usize,
+    start: usize,
+    end: usize,
+    cause: usize,
+    workload: Option<usize>,
+}
+
+impl Header {
+    fn parse(line: &str, line_no: usize) -> Result<Header, RecordError> {
+        let mut index: HashMap<String, usize> = HashMap::new();
+        for (i, name) in line.split(',').enumerate() {
+            index.insert(name.trim().to_ascii_lowercase(), i);
+        }
+        let find =
+            |names: &[&str]| -> Option<usize> { names.iter().find_map(|n| index.get(*n).copied()) };
+        let missing = |what: &str| RecordError::MalformedLine {
+            line: line_no,
+            reason: format!("header is missing a {what} column"),
+        };
+        Ok(Header {
+            system: find(&["system", "system number"]).ok_or_else(|| missing("system"))?,
+            node: find(&["node", "nodenum", "node number"]).ok_or_else(|| missing("node"))?,
+            start: find(&["started", "failure start", "start", "prob started"])
+                .ok_or_else(|| missing("failure-start"))?,
+            end: find(&["fixed", "failure end", "end", "problem fixed", "prob fixed"])
+                .ok_or_else(|| missing("failure-end"))?,
+            cause: find(&["cause", "root cause", "down reason", "failure type"])
+                .ok_or_else(|| missing("cause"))?,
+            workload: find(&["workload", "node purpose", "nodepurpose"]),
+        })
+    }
+
+    fn parse_row(&self, line: &str, line_no: usize) -> Result<Option<FailureRecord>, RecordError> {
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let get = |i: usize, what: &str| -> Result<&str, RecordError> {
+            fields
+                .get(i)
+                .copied()
+                .ok_or_else(|| RecordError::MalformedLine {
+                    line: line_no,
+                    reason: format!("row is missing the {what} column"),
+                })
+        };
+        let system: SystemId = get(self.system, "system")?.parse().map_err(wrap(line_no))?;
+        let node: NodeId = get(self.node, "node")?.parse().map_err(wrap(line_no))?;
+        let start = parse_datetime(get(self.start, "failure start")?, line_no)?;
+        let end = parse_datetime(get(self.end, "failure end")?, line_no)?;
+        if end < start {
+            return Ok(None); // raw-data glitch; reported via skipped count
+        }
+        let detail = parse_lanl_cause(get(self.cause, "cause")?, line_no)?;
+        let workload = match self.workload {
+            Some(i) => fields
+                .get(i)
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse())
+                .transpose()
+                .map_err(wrap(line_no))?
+                .unwrap_or(Workload::Compute),
+            None => Workload::Compute,
+        };
+        let record = FailureRecord::new(system, node, start, end, workload, detail)
+            .map_err(wrap(line_no))?;
+        Ok(Some(record))
+    }
+}
+
+fn wrap(line: usize) -> impl Fn(RecordError) -> RecordError {
+    move |e| RecordError::MalformedLine {
+        line,
+        reason: e.to_string(),
+    }
+}
+
+/// Parse `MM/DD/YYYY HH:MM[:SS]` or `YYYY-MM-DD HH:MM[:SS]`.
+fn parse_datetime(text: &str, line_no: usize) -> Result<Timestamp, RecordError> {
+    let bad = |reason: String| RecordError::MalformedLine {
+        line: line_no,
+        reason,
+    };
+    let mut parts = text.split_whitespace();
+    let date = parts
+        .next()
+        .ok_or_else(|| bad(format!("empty datetime {text:?}")))?;
+    let time = parts.next().unwrap_or("00:00");
+
+    let (y, m, d) = if date.contains('/') {
+        let v: Vec<&str> = date.split('/').collect();
+        if v.len() != 3 {
+            return Err(bad(format!("bad date {date:?}")));
+        }
+        (
+            v[2].parse::<i64>()
+                .map_err(|_| bad(format!("bad year in {date:?}")))?,
+            v[0].parse::<u32>()
+                .map_err(|_| bad(format!("bad month in {date:?}")))?,
+            v[1].parse::<u32>()
+                .map_err(|_| bad(format!("bad day in {date:?}")))?,
+        )
+    } else {
+        let v: Vec<&str> = date.split('-').collect();
+        if v.len() != 3 {
+            return Err(bad(format!("bad date {date:?}")));
+        }
+        (
+            v[0].parse::<i64>()
+                .map_err(|_| bad(format!("bad year in {date:?}")))?,
+            v[1].parse::<u32>()
+                .map_err(|_| bad(format!("bad month in {date:?}")))?,
+            v[2].parse::<u32>()
+                .map_err(|_| bad(format!("bad day in {date:?}")))?,
+        )
+    };
+    let t: Vec<&str> = time.split(':').collect();
+    if t.len() < 2 || t.len() > 3 {
+        return Err(bad(format!("bad time {time:?}")));
+    }
+    let hh = t[0]
+        .parse::<u32>()
+        .map_err(|_| bad(format!("bad hour in {time:?}")))?;
+    let mm = t[1]
+        .parse::<u32>()
+        .map_err(|_| bad(format!("bad minute in {time:?}")))?;
+    let ss = if t.len() == 3 {
+        t[2].parse::<u32>()
+            .map_err(|_| bad(format!("bad second in {time:?}")))?
+    } else {
+        0
+    };
+    Timestamp::from_civil(y, m, d, hh, mm, ss)
+        .ok_or_else(|| bad(format!("date out of range: {text:?}")))
+}
+
+/// Map LANL's cause vocabulary (or this crate's detailed names) onto the
+/// taxonomy.
+fn parse_lanl_cause(text: &str, line_no: usize) -> Result<DetailedCause, RecordError> {
+    let needle = text.trim().to_ascii_lowercase();
+    let mapped = match needle.as_str() {
+        "facilities" | "environment" | "facility" => Some(DetailedCause::PowerOutage),
+        "hardware" => Some(DetailedCause::OtherHardware),
+        "human error" | "human" => Some(DetailedCause::HumanOther),
+        "network" => Some(DetailedCause::NetworkOther),
+        "undetermined" | "unknown" => Some(DetailedCause::Undetermined),
+        "software" => Some(DetailedCause::OtherSoftware),
+        _ => None,
+    };
+    match mapped {
+        Some(c) => Ok(c),
+        None => needle.parse().map_err(|_| RecordError::MalformedLine {
+            line: line_no,
+            reason: format!("unknown cause {text:?}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cause::RootCause;
+
+    const SAMPLE: &str = "\
+system,nodenum,node purpose,started,fixed,cause
+20,22,graphics,06/28/1999 14:30,06/28/1999 20:45,hardware
+20,0,compute,01/02/1997 08:00,01/02/1997 09:00,software
+7,100,compute,2002-06-01 03:15:30,2002-06-01 05:00:00,memory
+5,3,fe,11/20/2003 23:50,11/21/2003 01:10,facilities
+";
+
+    #[test]
+    fn parses_lanl_style_file() {
+        let import = read_lanl_csv(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(import.trace.len(), 4);
+        assert_eq!(import.skipped_inverted, 0);
+        let records = import.trace.records();
+        // Sorted by time: 1997 record first.
+        assert_eq!(records[0].system(), SystemId::new(20));
+        assert_eq!(records[0].cause(), RootCause::Software);
+        // The graphics row keeps its workload and cause mapping.
+        let graphics = records
+            .iter()
+            .find(|r| r.node() == NodeId::new(22))
+            .unwrap();
+        assert_eq!(graphics.workload(), Workload::Graphics);
+        assert_eq!(graphics.cause(), RootCause::Hardware);
+        assert_eq!(graphics.downtime_secs(), 6 * 3_600 + 15 * 60);
+        // ISO datetimes and crate-native cause names work too.
+        let memory = records
+            .iter()
+            .find(|r| r.system() == SystemId::new(7))
+            .unwrap();
+        assert_eq!(memory.detail(), DetailedCause::Memory);
+        // Midnight-crossing repair.
+        let env = records
+            .iter()
+            .find(|r| r.system() == SystemId::new(5))
+            .unwrap();
+        assert_eq!(env.cause(), RootCause::Environment);
+        assert_eq!(env.downtime_secs(), 80 * 60);
+    }
+
+    #[test]
+    fn header_columns_in_any_order() {
+        let text = "\
+cause,fixed,system,started,node
+hardware,06/28/1999 20:45,20,06/28/1999 14:30,22
+";
+        let import = read_lanl_csv(text.as_bytes()).unwrap();
+        assert_eq!(import.trace.len(), 1);
+        // Missing workload column defaults to compute.
+        assert_eq!(import.trace.records()[0].workload(), Workload::Compute);
+    }
+
+    #[test]
+    fn extra_columns_ignored() {
+        let text = "\
+system,machine type,nodenum,nodenumz,started,fixed,down time,cause
+20,G,22,020-022,06/28/1999 14:30,06/28/1999 20:45,375,network
+";
+        let import = read_lanl_csv(text.as_bytes()).unwrap();
+        assert_eq!(import.trace.records()[0].cause(), RootCause::Network);
+    }
+
+    #[test]
+    fn inverted_rows_are_skipped_not_fatal() {
+        let text = "\
+system,node,started,fixed,cause
+20,1,06/28/1999 14:30,06/28/1999 20:45,hardware
+20,2,06/28/1999 14:30,06/27/1999 20:45,hardware
+";
+        let import = read_lanl_csv(text.as_bytes()).unwrap();
+        assert_eq!(import.trace.len(), 1);
+        assert_eq!(import.skipped_inverted, 1);
+    }
+
+    #[test]
+    fn missing_header_columns_rejected() {
+        let text = "system,node,started,cause\n20,1,06/28/1999 14:30,hardware\n";
+        match read_lanl_csv(text.as_bytes()) {
+            Err(RecordError::MalformedLine { reason, .. }) => {
+                assert!(reason.contains("failure-end"), "{reason}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(read_lanl_csv("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn bad_rows_report_line_numbers() {
+        let text = "\
+system,node,started,fixed,cause
+20,1,06/28/1999 14:30,06/28/1999 20:45,gremlins
+";
+        match read_lanl_csv(text.as_bytes()) {
+            Err(RecordError::MalformedLine { line: 2, reason }) => {
+                assert!(reason.contains("gremlins"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let bad_date = "\
+system,node,started,fixed,cause
+20,1,13/45/1999 14:30,06/28/1999 20:45,hardware
+";
+        assert!(matches!(
+            read_lanl_csv(bad_date.as_bytes()),
+            Err(RecordError::MalformedLine { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn datetime_variants() {
+        let t = parse_datetime("06/28/1999 14:30", 1).unwrap();
+        assert_eq!(t, Timestamp::from_civil(1999, 6, 28, 14, 30, 0).unwrap());
+        let iso = parse_datetime("1999-06-28 14:30:45", 1).unwrap();
+        assert_eq!(iso, Timestamp::from_civil(1999, 6, 28, 14, 30, 45).unwrap());
+        let date_only = parse_datetime("06/28/1999", 1).unwrap();
+        assert_eq!(
+            date_only,
+            Timestamp::from_civil(1999, 6, 28, 0, 0, 0).unwrap()
+        );
+        assert!(parse_datetime("", 1).is_err());
+        assert!(parse_datetime("28.06.1999 14:30", 1).is_err());
+        assert!(parse_datetime("06/28/1999 25:00", 1).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "\
+# exported from remedy
+system,node,started,fixed,cause
+
+20,1,06/28/1999 14:30,06/28/1999 20:45,undetermined
+";
+        let import = read_lanl_csv(text.as_bytes()).unwrap();
+        assert_eq!(import.trace.len(), 1);
+        assert_eq!(import.trace.records()[0].cause(), RootCause::Unknown);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the scheduling simulator.
+
+use std::fmt;
+
+/// Errors produced by the scheduling simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// A parameter was invalid.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A job requests more nodes than the cluster has.
+    JobTooWide {
+        /// Nodes requested.
+        requested: u32,
+        /// Nodes in the cluster.
+        available: u32,
+    },
+    /// A statistics component failed.
+    Stats(hpcfail_stats::StatsError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            SchedError::JobTooWide {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "job requests {requested} nodes but the cluster has {available}"
+                )
+            }
+            SchedError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hpcfail_stats::StatsError> for SchedError {
+    fn from(e: hpcfail_stats::StatsError) -> Self {
+        SchedError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SchedError::InvalidParameter {
+            name: "rate",
+            value: -1.0
+        }
+        .to_string()
+        .contains("rate"));
+        assert!(SchedError::JobTooWide {
+            requested: 100,
+            available: 10
+        }
+        .to_string()
+        .contains("100"));
+        let e: SchedError = hpcfail_stats::StatsError::EmptySample.into();
+        assert!(e.to_string().contains("statistics"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<SchedError>();
+    }
+}

@@ -1,0 +1,138 @@
+//! The continuous uniform distribution — a building block for thinning
+//! samplers and jittered timestamps in the synthetic generator.
+
+use super::{unit_open, Continuous};
+use crate::error::StatsError;
+use rand::Rng;
+
+/// Uniform distribution on the interval `[a, b)`.
+///
+/// ```
+/// use hpcfail_stats::dist::{Uniform, Continuous};
+/// let d = Uniform::new(2.0, 6.0)?;
+/// assert!((d.mean() - 4.0).abs() < 1e-12);
+/// assert!((d.cdf(3.0) - 0.25).abs() < 1e-12);
+/// # Ok::<(), hpcfail_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    a: f64,
+    b: f64,
+}
+
+impl Uniform {
+    /// Create a uniform distribution on `[a, b)` with `a < b`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] if bounds are not finite or
+    /// `a ≥ b`.
+    pub fn new(a: f64, b: f64) -> Result<Self, StatsError> {
+        if !a.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "a",
+                value: a,
+            });
+        }
+        if !b.is_finite() || b <= a {
+            return Err(StatsError::InvalidParameter {
+                name: "b",
+                value: b,
+            });
+        }
+        Ok(Uniform { a, b })
+    }
+
+    /// Lower bound.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Upper bound.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+}
+
+impl Continuous for Uniform {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < self.a || x >= self.b {
+            f64::NEG_INFINITY
+        } else {
+            -(self.b - self.a).ln()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.a) / (self.b - self.a)).clamp(0.0, 1.0)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        self.a + p * (self.b - self.a)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.a + self.b)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.b - self.a;
+        w * w / 12.0
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        self.a + unit_open(rng) * (self.b - self.a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::sample_n;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NAN, 1.0).is_err());
+        assert!(Uniform::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pdf_cdf_basic() {
+        let d = Uniform::new(0.0, 2.0).unwrap();
+        assert!((d.pdf(1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(d.pdf(-0.1), 0.0);
+        assert_eq!(d.pdf(2.0), 0.0);
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.cdf(3.0), 1.0);
+        assert!((d.cdf(0.5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let d = Uniform::new(-5.0, 5.0).unwrap();
+        for &p in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_in_range_and_mean() {
+        let d = Uniform::new(10.0, 20.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(33);
+        let data = sample_n(&d, 20_000, &mut rng);
+        assert!(data.iter().all(|&x| (10.0..20.0).contains(&x)));
+        let m = crate::descriptive::mean(&data);
+        assert!((m - 15.0).abs() < 0.1, "mean {m}");
+    }
+}

@@ -1,0 +1,195 @@
+//! Empirical cumulative distribution functions — the paper's primary
+//! visualization device (Figs. 3(b), 6, 7(a) all overlay fitted CDFs on an
+//! empirical CDF).
+
+use crate::error::StatsError;
+
+/// An empirical CDF built from a sample.
+///
+/// Stores the sorted sample; evaluation is a binary search, so `O(log n)`
+/// per query after `O(n log n)` construction.
+///
+/// ```
+/// use hpcfail_stats::ecdf::Ecdf;
+/// let e = Ecdf::new(&[3.0, 1.0, 2.0])?;
+/// assert_eq!(e.eval(0.5), 0.0);
+/// assert!((e.eval(1.0) - 1.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(e.eval(3.0), 1.0);
+/// # Ok::<(), hpcfail_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build an empirical CDF from a sample.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptySample`] if `data` is empty,
+    /// [`StatsError::NonFinite`] if it contains NaN/∞.
+    pub fn new(data: &[f64]) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::NonFinite);
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+        Ok(Ecdf { sorted })
+    }
+
+    /// `F̂(x)` = fraction of observations ≤ `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements ≤ x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Empirical survival function `1 − F̂(x)`.
+    pub fn survival(&self, x: f64) -> f64 {
+        1.0 - self.eval(x)
+    }
+
+    /// Empirical quantile via [`crate::descriptive::quantile_sorted`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        crate::descriptive::quantile_sorted(&self.sorted, q)
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF holds no observations (never true — construction
+    /// rejects empty samples — but provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted underlying sample.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// The step points of the ECDF as `(x, F̂(x))` pairs — exactly what the
+    /// paper plots. Duplicate x values are collapsed to their final step
+    /// height.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::with_capacity(self.sorted.len());
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let p = (i as f64 + 1.0) / n;
+            match out.last_mut() {
+                Some(last) if last.0 == x => last.1 = p,
+                _ => out.push((x, p)),
+            }
+        }
+        out
+    }
+
+    /// Evaluate the ECDF at `k` log-spaced points between min and max —
+    /// matching the paper's log-x-axis CDF plots (Figs. 6, 7(a)).
+    ///
+    /// Returns an empty vector when the sample minimum is not positive
+    /// (log axis undefined) or `k < 2`.
+    pub fn log_spaced_points(&self, k: usize) -> Vec<(f64, f64)> {
+        if k < 2 || self.min() <= 0.0 {
+            return Vec::new();
+        }
+        let lo = self.min().ln();
+        let hi = self.max().ln();
+        (0..k)
+            .map(|i| {
+                let x = (lo + (hi - lo) * i as f64 / (k - 1) as f64).exp();
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(Ecdf::new(&[]), Err(StatsError::EmptySample)));
+        assert!(matches!(
+            Ecdf::new(&[1.0, f64::NAN]),
+            Err(StatsError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn eval_steps_through_sample() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.eval(0.0), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let e = Ecdf::new(&[2.0, 2.0, 2.0, 5.0]).unwrap();
+        assert_eq!(e.eval(1.9), 0.0);
+        assert_eq!(e.eval(2.0), 0.75);
+        let steps = e.steps();
+        assert_eq!(steps, vec![(2.0, 0.75), (5.0, 1.0)]);
+    }
+
+    #[test]
+    fn survival_complements_eval() {
+        let e = Ecdf::new(&[1.0, 5.0, 9.0]).unwrap();
+        for &x in &[0.0, 1.0, 4.0, 9.0, 10.0] {
+            assert!((e.eval(x) + e.survival(x) - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn quantile_median() {
+        let e = Ecdf::new(&[9.0, 1.0, 5.0]).unwrap();
+        assert_eq!(e.quantile(0.5), 5.0);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 9.0);
+        assert_eq!(e.len(), 3);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn log_spaced_points_cover_range() {
+        let data: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let e = Ecdf::new(&data).unwrap();
+        let pts = e.log_spaced_points(50);
+        assert_eq!(pts.len(), 50);
+        assert!((pts[0].0 - 1.0).abs() < 1e-9);
+        assert!((pts[49].0 - 1000.0).abs() < 1e-6);
+        // Monotone non-decreasing in both coordinates.
+        for w in pts.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn log_spaced_points_empty_for_nonpositive_min() {
+        let e = Ecdf::new(&[0.0, 1.0, 2.0]).unwrap();
+        assert!(e.log_spaced_points(10).is_empty());
+        let e2 = Ecdf::new(&[1.0, 2.0]).unwrap();
+        assert!(e2.log_spaced_points(1).is_empty());
+    }
+}

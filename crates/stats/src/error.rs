@@ -1,0 +1,113 @@
+//! Error types for the statistics crate.
+
+use std::fmt;
+
+/// Errors produced by statistical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input sample was empty.
+    EmptySample,
+    /// The input sample contained NaN or infinite values.
+    NonFinite,
+    /// The input sample contained values outside the support of the
+    /// distribution being fitted (e.g. negative values for a Weibull).
+    OutOfSupport {
+        /// Name of the distribution whose support was violated.
+        distribution: &'static str,
+    },
+    /// A distribution parameter was invalid (non-positive scale, etc.).
+    InvalidParameter {
+        /// Which parameter was invalid.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An iterative estimator failed to converge.
+    NoConvergence {
+        /// What was being estimated.
+        what: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The sample was too small for the requested operation.
+    SampleTooSmall {
+        /// Observations required.
+        needed: usize,
+        /// Observations provided.
+        got: usize,
+    },
+    /// The sample is degenerate (e.g. all values identical) so the
+    /// requested fit is undefined.
+    DegenerateSample,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptySample => write!(f, "sample is empty"),
+            StatsError::NonFinite => write!(f, "sample contains NaN or infinite values"),
+            StatsError::OutOfSupport { distribution } => {
+                write!(
+                    f,
+                    "sample contains values outside the support of {distribution}"
+                )
+            }
+            StatsError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            StatsError::NoConvergence { what, iterations } => {
+                write!(f, "{what} did not converge after {iterations} iterations")
+            }
+            StatsError::SampleTooSmall { needed, got } => {
+                write!(
+                    f,
+                    "sample too small: need at least {needed} observations, got {got}"
+                )
+            }
+            StatsError::DegenerateSample => {
+                write!(f, "sample is degenerate (zero variance)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            StatsError::EmptySample,
+            StatsError::NonFinite,
+            StatsError::OutOfSupport {
+                distribution: "weibull",
+            },
+            StatsError::InvalidParameter {
+                name: "shape",
+                value: -1.0,
+            },
+            StatsError::NoConvergence {
+                what: "weibull mle",
+                iterations: 100,
+            },
+            StatsError::SampleTooSmall { needed: 2, got: 1 },
+            StatsError::DegenerateSample,
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<StatsError>();
+    }
+}

@@ -1,0 +1,401 @@
+//! Candidate-distribution fitting and ranking — the paper's methodology
+//! (Section 3): fit by maximum likelihood, compare by negative
+//! log-likelihood, prefer the simplest adequate standard distribution.
+
+use crate::dist::{Continuous, Exponential, Gamma, LogNormal, Normal, Pareto, Weibull};
+use crate::ecdf::Ecdf;
+use crate::error::StatsError;
+use crate::gof::ks_statistic;
+
+use serde::{Deserialize, Serialize};
+
+/// The candidate families the paper fits to continuous data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Family {
+    /// Memoryless baseline; the paper's strawman.
+    Exponential,
+    /// The paper's best TBF model (shape 0.7–0.8).
+    Weibull,
+    /// Fits TBF as well as the Weibull per the paper.
+    Gamma,
+    /// The paper's best repair-time model.
+    LogNormal,
+    /// Used only for per-node count data (Fig. 3(b)).
+    Normal,
+    /// Considered and rejected by the paper (footnote 1).
+    Pareto,
+}
+
+impl Family {
+    /// The four families the paper fits to TBF and repair-time data
+    /// (Figs. 6 and 7(a)).
+    pub const PAPER_SET: [Family; 4] = [
+        Family::Exponential,
+        Family::Weibull,
+        Family::Gamma,
+        Family::LogNormal,
+    ];
+
+    /// All supported continuous families.
+    pub const ALL: [Family; 6] = [
+        Family::Exponential,
+        Family::Weibull,
+        Family::Gamma,
+        Family::LogNormal,
+        Family::Normal,
+        Family::Pareto,
+    ];
+
+    /// Short lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Exponential => "exponential",
+            Family::Weibull => "weibull",
+            Family::Gamma => "gamma",
+            Family::LogNormal => "lognormal",
+            Family::Normal => "normal",
+            Family::Pareto => "pareto",
+        }
+    }
+
+    /// Number of free parameters (for AIC).
+    pub fn param_count(self) -> usize {
+        match self {
+            Family::Exponential => 1,
+            Family::Weibull
+            | Family::Gamma
+            | Family::LogNormal
+            | Family::Normal
+            | Family::Pareto => 2,
+        }
+    }
+
+    /// Fit this family to data by maximum likelihood.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the per-family fitter errors (empty sample, out of
+    /// support, degenerate, no convergence).
+    pub fn fit(self, data: &[f64]) -> Result<Box<dyn Continuous>, StatsError> {
+        Ok(match self {
+            Family::Exponential => Box::new(Exponential::fit_mle(data)?),
+            Family::Weibull => Box::new(Weibull::fit_mle(data)?),
+            Family::Gamma => Box::new(Gamma::fit_mle(data)?),
+            Family::LogNormal => Box::new(LogNormal::fit_mle(data)?),
+            Family::Normal => Box::new(Normal::fit_mle(data)?),
+            Family::Pareto => Box::new(Pareto::fit_mle(data)?),
+        })
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One fitted candidate with its goodness-of-fit metrics.
+#[derive(Debug)]
+pub struct FittedCandidate {
+    /// Which family this is.
+    pub family: Family,
+    /// The fitted distribution.
+    pub dist: Box<dyn Continuous>,
+    /// Negative log-likelihood on the data (the paper's criterion; lower
+    /// is better).
+    pub nll: f64,
+    /// Akaike information criterion: `2k + 2·NLL`.
+    pub aic: f64,
+    /// Bayesian information criterion: `k·ln n + 2·NLL`.
+    pub bic: f64,
+    /// Kolmogorov–Smirnov distance between fitted CDF and the ECDF.
+    pub ks: f64,
+}
+
+/// How to rank fitted candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Criterion {
+    /// Raw negative log-likelihood (paper's choice).
+    #[default]
+    NegLogLikelihood,
+    /// AIC — penalizes the extra parameter of two-parameter families.
+    Aic,
+    /// Kolmogorov–Smirnov distance.
+    KolmogorovSmirnov,
+}
+
+/// The outcome of fitting several candidate families to one data set.
+#[derive(Debug)]
+pub struct FitReport {
+    /// Successfully fitted candidates, sorted by the chosen criterion
+    /// (best first).
+    pub candidates: Vec<FittedCandidate>,
+    /// Families that failed to fit, with the reason (e.g. Weibull on data
+    /// containing zeros).
+    pub failures: Vec<(Family, StatsError)>,
+    /// The criterion used for the ordering.
+    pub criterion: Criterion,
+    /// Number of observations fitted.
+    pub n: usize,
+}
+
+impl FitReport {
+    /// The best-fitting candidate, if any family fitted successfully.
+    pub fn best(&self) -> Option<&FittedCandidate> {
+        self.candidates.first()
+    }
+
+    /// Look up a fitted candidate by family.
+    pub fn candidate(&self, family: Family) -> Option<&FittedCandidate> {
+        self.candidates.iter().find(|c| c.family == family)
+    }
+
+    /// The rank (0 = best) of a family, if it fitted.
+    pub fn rank_of(&self, family: Family) -> Option<usize> {
+        self.candidates.iter().position(|c| c.family == family)
+    }
+
+    /// Akaike weights: the relative likelihood of each fitted candidate,
+    /// `w_i = exp(−Δ_i/2) / Σ exp(−Δ_j/2)` with `Δ_i = AIC_i − min AIC`.
+    /// Returned in [`FitReport::candidates`] order; sums to 1.
+    pub fn akaike_weights(&self) -> Vec<f64> {
+        if self.candidates.is_empty() {
+            return Vec::new();
+        }
+        let min_aic = self
+            .candidates
+            .iter()
+            .map(|c| c.aic)
+            .fold(f64::INFINITY, f64::min);
+        let rel: Vec<f64> = self
+            .candidates
+            .iter()
+            .map(|c| (-(c.aic - min_aic) / 2.0).exp())
+            .collect();
+        let total: f64 = rel.iter().sum();
+        rel.into_iter().map(|w| w / total).collect()
+    }
+}
+
+/// Fit all `families` to `data` by maximum likelihood and rank them.
+///
+/// Families that fail to fit (out-of-support data, degenerate samples) are
+/// recorded in [`FitReport::failures`] rather than aborting the whole
+/// comparison — exactly what an analyst wants when, say, the exponential
+/// fits but the Pareto does not.
+///
+/// # Errors
+///
+/// [`StatsError::EmptySample`] / [`StatsError::NonFinite`] if the data
+/// itself is unusable; [`StatsError::SampleTooSmall`] for fewer than 2
+/// observations.
+pub fn fit_candidates(
+    data: &[f64],
+    families: &[Family],
+    criterion: Criterion,
+) -> Result<FitReport, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if data.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    if data.len() < 2 {
+        return Err(StatsError::SampleTooSmall {
+            needed: 2,
+            got: data.len(),
+        });
+    }
+    let ecdf = Ecdf::new(data)?;
+    let mut candidates = Vec::new();
+    let mut failures = Vec::new();
+    for &family in families {
+        match family.fit(data) {
+            Ok(dist) => {
+                let nll = dist.nll(data);
+                let k = family.param_count() as f64;
+                let aic = 2.0 * k + 2.0 * nll;
+                let bic = k * (data.len() as f64).ln() + 2.0 * nll;
+                let ks = ks_statistic(&ecdf, dist.as_ref());
+                candidates.push(FittedCandidate {
+                    family,
+                    dist,
+                    nll,
+                    aic,
+                    bic,
+                    ks,
+                });
+            }
+            Err(e) => failures.push((family, e)),
+        }
+    }
+    let key = |c: &FittedCandidate| match criterion {
+        Criterion::NegLogLikelihood => c.nll,
+        Criterion::Aic => c.aic,
+        Criterion::KolmogorovSmirnov => c.ks,
+    };
+    candidates.sort_by(|a, b| {
+        key(a)
+            .partial_cmp(&key(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(FitReport {
+        candidates,
+        failures,
+        criterion,
+        n: data.len(),
+    })
+}
+
+/// Convenience: fit the paper's four standard families ranked by NLL.
+///
+/// # Errors
+///
+/// See [`fit_candidates`].
+pub fn fit_paper_set(data: &[f64]) -> Result<FitReport, StatsError> {
+    fit_candidates(data, &Family::PAPER_SET, Criterion::NegLogLikelihood)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::sample_n;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weibull_data_is_won_by_weibull_like_families() {
+        // Paper Fig 6(b)(d): Weibull/gamma beat exponential & lognormal on
+        // late-era TBF data (shape ~0.7).
+        let truth = Weibull::new(0.7, 50_000.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = sample_n(&truth, 10_000, &mut rng);
+        let report = fit_paper_set(&data).unwrap();
+        let best = report.best().unwrap();
+        assert!(
+            best.family == Family::Weibull || best.family == Family::Gamma,
+            "best was {:?}",
+            best.family
+        );
+        // Exponential must be last of the four.
+        assert_eq!(report.rank_of(Family::Exponential), Some(3));
+    }
+
+    #[test]
+    fn lognormal_data_is_won_by_lognormal() {
+        // Paper Fig 7(a): repair times are lognormal-best.
+        let truth = LogNormal::new(4.0, 1.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = sample_n(&truth, 10_000, &mut rng);
+        let report = fit_paper_set(&data).unwrap();
+        assert_eq!(report.best().unwrap().family, Family::LogNormal);
+        assert_eq!(report.rank_of(Family::Exponential), Some(3));
+    }
+
+    #[test]
+    fn exponential_data_with_aic_prefers_exponential() {
+        let truth = Exponential::new(0.001).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = sample_n(&truth, 10_000, &mut rng);
+        let report = fit_candidates(&data, &Family::PAPER_SET, Criterion::Aic).unwrap();
+        // With AIC the 1-parameter exponential should be competitive with
+        // the Weibull/gamma that nest it: the likelihood-ratio statistic
+        // 2(NLL_e - NLL_w) is ~chi-square(1), so the AIC gap stays small.
+        let best = report.best().unwrap();
+        let exp = report.candidate(Family::Exponential).unwrap();
+        assert!(
+            exp.aic <= best.aic + 8.0,
+            "exponential should be competitive: {} vs {}",
+            exp.aic,
+            best.aic
+        );
+    }
+
+    #[test]
+    fn failures_are_recorded_not_fatal() {
+        // Data containing zeros: positive-support families fail, normal fits.
+        let data = [0.0, 0.0, 1.0, 2.0, 3.0, 4.0];
+        let report = fit_candidates(&data, &Family::ALL, Criterion::NegLogLikelihood).unwrap();
+        assert!(report.candidate(Family::Normal).is_some());
+        assert!(report.candidate(Family::Weibull).is_none());
+        assert!(report
+            .failures
+            .iter()
+            .any(|(f, e)| *f == Family::Weibull && matches!(e, StatsError::OutOfSupport { .. })));
+    }
+
+    #[test]
+    fn empty_and_tiny_samples_error() {
+        assert!(matches!(fit_paper_set(&[]), Err(StatsError::EmptySample)));
+        assert!(matches!(
+            fit_paper_set(&[1.0]),
+            Err(StatsError::SampleTooSmall { .. })
+        ));
+        assert!(matches!(
+            fit_paper_set(&[1.0, f64::NAN]),
+            Err(StatsError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn ks_ranking_orders_by_cdf_distance() {
+        let truth = Weibull::new(0.78, 3600.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = sample_n(&truth, 5_000, &mut rng);
+        let report =
+            fit_candidates(&data, &Family::PAPER_SET, Criterion::KolmogorovSmirnov).unwrap();
+        for w in report.candidates.windows(2) {
+            assert!(w[0].ks <= w[1].ks);
+        }
+        // The exponential's KS distance should be clearly worst.
+        let exp_ks = report.candidate(Family::Exponential).unwrap().ks;
+        let best_ks = report.best().unwrap().ks;
+        assert!(exp_ks > 2.0 * best_ks, "exp {exp_ks} vs best {best_ks}");
+    }
+
+    #[test]
+    fn bic_and_akaike_weights() {
+        let truth = Weibull::new(0.7, 1_000.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let data = sample_n(&truth, 5_000, &mut rng);
+        let report = fit_paper_set(&data).unwrap();
+        // BIC penalizes parameters more than AIC for n > e².
+        for c in &report.candidates {
+            assert!(
+                c.bic > c.aic,
+                "{}: bic {} vs aic {}",
+                c.family,
+                c.bic,
+                c.aic
+            );
+        }
+        let weights = report.akaike_weights();
+        assert_eq!(weights.len(), report.candidates.len());
+        assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Weights are ordered with the candidates (best first under NLL ≈
+        // best AIC here) and the winner dominates.
+        assert!(weights[0] > 0.5, "winner weight {}", weights[0]);
+    }
+
+    #[test]
+    fn family_metadata() {
+        assert_eq!(Family::Weibull.name(), "weibull");
+        assert_eq!(Family::Exponential.param_count(), 1);
+        assert_eq!(Family::LogNormal.param_count(), 2);
+        assert_eq!(Family::PAPER_SET.len(), 4);
+        assert_eq!(format!("{}", Family::Gamma), "gamma");
+    }
+
+    #[test]
+    fn report_lookup_helpers() {
+        let truth = Gamma::new(2.0, 10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = sample_n(&truth, 2_000, &mut rng);
+        let report = fit_paper_set(&data).unwrap();
+        assert_eq!(report.n, 2_000);
+        assert!(report.candidate(Family::Gamma).is_some());
+        assert!(report.rank_of(Family::Gamma).unwrap() <= 1);
+        assert!(report.candidate(Family::Pareto).is_none());
+    }
+}

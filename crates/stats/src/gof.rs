@@ -1,0 +1,130 @@
+//! Goodness-of-fit measures. The paper evaluates fits "by visual
+//! inspection and the negative log-likelihood test"; we add the
+//! Kolmogorov–Smirnov distance as a quantitative stand-in for visual
+//! CDF inspection.
+
+use crate::dist::Continuous;
+use crate::ecdf::Ecdf;
+
+/// The two-sided Kolmogorov–Smirnov statistic
+/// `D = sup_x |F̂(x) − F(x)|` between an empirical CDF and a fitted
+/// continuous distribution.
+///
+/// Evaluated exactly at the sample points (where the supremum of a step
+/// function vs a continuous CDF must occur), checking both the
+/// left-limit and right-value of each step.
+pub fn ks_statistic(ecdf: &Ecdf, dist: &dyn Continuous) -> f64 {
+    let n = ecdf.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in ecdf.sorted_values().iter().enumerate() {
+        let f = dist.cdf(x);
+        let upper = (i as f64 + 1.0) / n - f; // step top vs model
+        let lower = f - i as f64 / n; // model vs step bottom
+        d = d.max(upper.abs()).max(lower.abs());
+    }
+    d
+}
+
+/// Approximate p-value for the KS statistic via the asymptotic
+/// Kolmogorov distribution `Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}` with the
+/// standard small-sample correction.
+///
+/// A small p-value means the data are unlikely under the fitted model.
+/// (The paper does not report p-values — with tens of thousands of
+/// observations every standard family is formally rejected — but they are
+/// useful for the smaller per-node samples.)
+pub fn ks_p_value(d: f64, n: usize) -> f64 {
+    if n == 0 || !d.is_finite() || d <= 0.0 {
+        return 1.0;
+    }
+    if d >= 1.0 {
+        return 0.0;
+    }
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    if lambda < 0.2 {
+        // The Kolmogorov CDF is < 5e-8 here; the alternating series
+        // converges too slowly to be useful, and p = 1 to 7 digits.
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Log-likelihood ratio between two fitted models on the same data:
+/// positive means `a` explains the data better than `b`.
+pub fn log_likelihood_ratio(a: &dyn Continuous, b: &dyn Continuous, data: &[f64]) -> f64 {
+    b.nll(data) - a.nll(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{sample_n, Continuous, Exponential, Weibull};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ks_zero_for_perfect_grid() {
+        // A sample placed exactly at the quantile mid-grid of the model has
+        // a tiny KS distance.
+        let d = Exponential::new(1.0).unwrap();
+        let n = 1000;
+        let sample: Vec<f64> = (0..n)
+            .map(|i| d.quantile((i as f64 + 0.5) / n as f64))
+            .collect();
+        let ecdf = Ecdf::new(&sample).unwrap();
+        let ks = ks_statistic(&ecdf, &d);
+        assert!(ks < 1.0 / n as f64 + 1e-9, "ks = {ks}");
+    }
+
+    #[test]
+    fn ks_detects_wrong_model() {
+        let truth = Weibull::new(0.5, 100.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = sample_n(&truth, 5_000, &mut rng);
+        let ecdf = Ecdf::new(&data).unwrap();
+        let right = ks_statistic(&ecdf, &truth);
+        let wrong = Exponential::from_mean(truth.mean()).unwrap();
+        let wrong_ks = ks_statistic(&ecdf, &wrong);
+        assert!(wrong_ks > 5.0 * right, "right {right} wrong {wrong_ks}");
+    }
+
+    #[test]
+    fn p_value_behaviour() {
+        // Large D on a big sample → p ≈ 0; small D → p ≈ 1.
+        assert!(ks_p_value(0.3, 10_000) < 1e-10);
+        assert!(ks_p_value(0.001, 100) > 0.99);
+        assert_eq!(ks_p_value(0.0, 100), 1.0);
+        assert_eq!(ks_p_value(1.5, 100), 0.0);
+        assert_eq!(ks_p_value(0.5, 0), 1.0);
+    }
+
+    #[test]
+    fn p_value_calibration_point() {
+        // Classic critical value: D = 1.36/√n gives p ≈ 0.05.
+        let n = 400;
+        let d = 1.36 / (n as f64).sqrt();
+        let p = ks_p_value(d, n);
+        assert!((p - 0.05).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn llr_sign() {
+        let truth = Weibull::new(0.7, 10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let data = sample_n(&truth, 2_000, &mut rng);
+        let exp = Exponential::from_mean(truth.mean()).unwrap();
+        assert!(log_likelihood_ratio(&truth, &exp, &data) > 0.0);
+        assert!(log_likelihood_ratio(&exp, &truth, &data) < 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Histogram / binning utilities used by the rate analyses (failures per
+//! month of age, per hour of day, per day of week).
+
+use crate::error::StatsError;
+
+/// A fixed-width histogram over `[min, max)`.
+///
+/// ```
+/// use hpcfail_stats::histogram::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5)?;
+/// h.add(1.0);
+/// h.add(9.9);
+/// assert_eq!(h.counts(), &[1, 0, 0, 0, 1]);
+/// # Ok::<(), hpcfail_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    /// Observations below `min` or at/above `max`.
+    outliers: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins over `[min, max)`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] if `bins == 0`, bounds are not
+    /// finite, or `min ≥ max`.
+    pub fn new(min: f64, max: f64, bins: usize) -> Result<Self, StatsError> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+            });
+        }
+        if !min.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "min",
+                value: min,
+            });
+        }
+        if !max.is_finite() || max <= min {
+            return Err(StatsError::InvalidParameter {
+                name: "max",
+                value: max,
+            });
+        }
+        Ok(Histogram {
+            min,
+            max,
+            counts: vec![0; bins],
+            outliers: 0,
+        })
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() || x < self.min || x >= self.max {
+            self.outliers += 1;
+            return;
+        }
+        let w = (self.max - self.min) / self.counts.len() as f64;
+        let idx = ((x - self.min) / w) as usize;
+        let idx = idx.min(self.counts.len() - 1); // float-edge safety
+        self.counts[idx] += 1;
+    }
+
+    /// Add every observation from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations that fell outside `[min, max)`.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Midpoint of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let w = (self.max - self.min) / self.counts.len() as f64;
+        self.min + (i as f64 + 0.5) * w
+    }
+
+    /// `(center, count)` pairs for plotting.
+    pub fn points(&self) -> Vec<(f64, u64)> {
+        (0..self.counts.len())
+            .map(|i| (self.bin_center(i), self.counts[i]))
+            .collect()
+    }
+
+    /// Normalized bin heights that sum to 1 (empty histogram → all zeros).
+    pub fn normalized(&self) -> Vec<f64> {
+        let total = self.total() as f64;
+        if total == 0.0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / total).collect()
+    }
+}
+
+/// A histogram over integer categories `0..n` (hours 0..24, weekdays 0..7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoryCounts {
+    counts: Vec<u64>,
+}
+
+impl CategoryCounts {
+    /// Create with `n` categories, all zero.
+    pub fn new(n: usize) -> Self {
+        CategoryCounts { counts: vec![0; n] }
+    }
+
+    /// Increment category `i`; out-of-range indices are ignored and
+    /// reported by the return value.
+    pub fn add(&mut self, i: usize) -> bool {
+        if let Some(c) = self.counts.get_mut(i) {
+            *c += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Per-category counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Ratio of the maximum category to the minimum category — the paper's
+    /// "failure rate two times higher during peak hours" comparison.
+    /// NaN when any category is empty.
+    pub fn peak_to_trough(&self) -> f64 {
+        let max = self.counts.iter().max().copied().unwrap_or(0);
+        let min = self.counts.iter().min().copied().unwrap_or(0);
+        if min == 0 {
+            f64::NAN
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 3).is_err());
+        assert!(Histogram::new(2.0, 1.0, 3).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn binning_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.extend([0.0, 0.5, 5.5, 9.999, 10.0, -0.1, f64::NAN]);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.outliers(), 3);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+        let pts = h.points();
+        assert_eq!(pts.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin index out of range")]
+    fn bin_center_out_of_range_panics() {
+        let h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.bin_center(2);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.extend([0.5, 1.5, 1.7, 3.2]);
+        let norm = h.normalized();
+        assert!((norm.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((norm[1] - 0.5).abs() < 1e-12);
+        let empty = Histogram::new(0.0, 1.0, 3).unwrap();
+        assert_eq!(empty.normalized(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn category_counts_basic() {
+        let mut c = CategoryCounts::new(7);
+        assert!(c.add(0));
+        assert!(c.add(6));
+        assert!(c.add(6));
+        assert!(!c.add(7));
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.counts()[6], 2);
+    }
+
+    #[test]
+    fn peak_to_trough() {
+        let mut c = CategoryCounts::new(2);
+        c.add(0);
+        c.add(0);
+        c.add(1);
+        assert!((c.peak_to_trough() - 2.0).abs() < 1e-12);
+        let mut empty_cat = CategoryCounts::new(2);
+        empty_cat.add(0);
+        assert!(empty_cat.peak_to_trough().is_nan());
+    }
+}

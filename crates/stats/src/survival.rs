@@ -1,0 +1,257 @@
+//! Kaplan–Meier survival estimation for right-censored durations.
+//!
+//! Era-windowed inter-arrival data (the paper's Fig. 6 splits) is
+//! naturally right-censored: the gap in progress when the window closes
+//! is only known to exceed the observed span. The product-limit estimator
+//! uses those censored observations instead of discarding them.
+
+use crate::error::StatsError;
+
+/// One observed duration, possibly right-censored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// The observed duration (time to event, or time to censoring).
+    pub duration: f64,
+    /// `true` if the event occurred; `false` if censored at `duration`.
+    pub observed: bool,
+}
+
+impl Observation {
+    /// An observed (uncensored) event.
+    pub fn event(duration: f64) -> Self {
+        Observation {
+            duration,
+            observed: true,
+        }
+    }
+
+    /// A right-censored observation.
+    pub fn censored(duration: f64) -> Self {
+        Observation {
+            duration,
+            observed: false,
+        }
+    }
+}
+
+/// The Kaplan–Meier product-limit estimate of the survival function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KaplanMeier {
+    /// Distinct event times, ascending.
+    times: Vec<f64>,
+    /// Survival estimate just after each event time.
+    survival: Vec<f64>,
+}
+
+impl KaplanMeier {
+    /// Fit the estimator.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptySample`] for no observations;
+    /// [`StatsError::NonFinite`]/[`StatsError::OutOfSupport`] for invalid
+    /// durations; [`StatsError::DegenerateSample`] when every observation
+    /// is censored (no events to estimate from).
+    pub fn fit(observations: &[Observation]) -> Result<Self, StatsError> {
+        if observations.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if observations.iter().any(|o| !o.duration.is_finite()) {
+            return Err(StatsError::NonFinite);
+        }
+        if observations.iter().any(|o| o.duration < 0.0) {
+            return Err(StatsError::OutOfSupport {
+                distribution: "kaplan-meier",
+            });
+        }
+        if observations.iter().all(|o| !o.observed) {
+            return Err(StatsError::DegenerateSample);
+        }
+        let mut sorted: Vec<Observation> = observations.to_vec();
+        sorted.sort_by(|a, b| {
+            a.duration
+                .partial_cmp(&b.duration)
+                .expect("finite durations")
+                // At ties, events before censorings (the convention).
+                .then(b.observed.cmp(&a.observed))
+        });
+
+        let n = sorted.len();
+        let mut at_risk = n as f64;
+        let mut s = 1.0f64;
+        let mut times = Vec::new();
+        let mut survival = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let t = sorted[i].duration;
+            let mut deaths = 0.0;
+            let mut leaving = 0.0;
+            while i < n && sorted[i].duration == t {
+                if sorted[i].observed {
+                    deaths += 1.0;
+                }
+                leaving += 1.0;
+                i += 1;
+            }
+            if deaths > 0.0 {
+                s *= 1.0 - deaths / at_risk;
+                times.push(t);
+                survival.push(s);
+            }
+            at_risk -= leaving;
+        }
+        Ok(KaplanMeier { times, survival })
+    }
+
+    /// `Ŝ(t)`: the estimated probability of surviving past `t`.
+    pub fn survival(&self, t: f64) -> f64 {
+        let idx = self.times.partition_point(|&ti| ti <= t);
+        if idx == 0 {
+            1.0
+        } else {
+            self.survival[idx - 1]
+        }
+    }
+
+    /// The estimated CDF `1 − Ŝ(t)`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        1.0 - self.survival(t)
+    }
+
+    /// The step points `(t, Ŝ(t))`.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        self.times
+            .iter()
+            .zip(&self.survival)
+            .map(|(&t, &s)| (t, s))
+            .collect()
+    }
+
+    /// Median survival time, if the curve drops to or below 0.5.
+    pub fn median(&self) -> Option<f64> {
+        self.times
+            .iter()
+            .zip(&self.survival)
+            .find(|&(_, &s)| s <= 0.5)
+            .map(|(&t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(KaplanMeier::fit(&[]).is_err());
+        assert!(KaplanMeier::fit(&[Observation::event(f64::NAN)]).is_err());
+        assert!(KaplanMeier::fit(&[Observation::event(-1.0)]).is_err());
+        assert!(matches!(
+            KaplanMeier::fit(&[Observation::censored(1.0)]),
+            Err(StatsError::DegenerateSample)
+        ));
+    }
+
+    #[test]
+    fn no_censoring_matches_ecdf() {
+        // Without censoring, KM is exactly 1 − ECDF.
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let obs: Vec<Observation> = data.iter().map(|&d| Observation::event(d)).collect();
+        let km = KaplanMeier::fit(&obs).unwrap();
+        let ecdf = crate::ecdf::Ecdf::new(&data).unwrap();
+        for &t in &[0.5, 1.0, 2.5, 5.0, 6.0] {
+            assert!(
+                (km.survival(t) - ecdf.survival(t)).abs() < 1e-12,
+                "t = {t}: km {} vs 1-ecdf {}",
+                km.survival(t),
+                ecdf.survival(t)
+            );
+        }
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic worked example: events at 6, 13, 21, 30; censored at
+        // 10, 17.
+        let obs = vec![
+            Observation::event(6.0),
+            Observation::censored(10.0),
+            Observation::event(13.0),
+            Observation::censored(17.0),
+            Observation::event(21.0),
+            Observation::event(30.0),
+        ];
+        let km = KaplanMeier::fit(&obs).unwrap();
+        // S(6) = 5/6; S(13) = 5/6 × 3/4 = 0.625;
+        // S(21) = 0.625 × 1/2 = 0.3125; S(30) = 0.
+        assert!((km.survival(6.0) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((km.survival(13.0) - 0.625).abs() < 1e-12);
+        assert!((km.survival(21.0) - 0.3125).abs() < 1e-12);
+        assert!(km.survival(30.0).abs() < 1e-12);
+        assert_eq!(km.median(), Some(21.0));
+        assert_eq!(km.steps().len(), 4);
+    }
+
+    #[test]
+    fn censoring_lifts_the_tail() {
+        // Treating censored gaps as events biases survival down; KM
+        // corrects upward.
+        let naive: Vec<Observation> = [5.0, 10.0, 15.0, 20.0]
+            .iter()
+            .map(|&d| Observation::event(d))
+            .collect();
+        let censored = vec![
+            Observation::event(5.0),
+            Observation::event(10.0),
+            Observation::censored(15.0),
+            Observation::event(20.0),
+        ];
+        let km_naive = KaplanMeier::fit(&naive).unwrap();
+        let km_cens = KaplanMeier::fit(&censored).unwrap();
+        assert!(km_cens.survival(16.0) > km_naive.survival(16.0));
+    }
+
+    #[test]
+    fn recovers_weibull_survival() {
+        use crate::dist::{sample_n, Continuous, Weibull};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let truth = Weibull::new(0.7, 100.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = sample_n(&truth, 5_000, &mut rng);
+        // Censor everything above 250 (a window boundary).
+        let obs: Vec<Observation> = data
+            .iter()
+            .map(|&d| {
+                if d > 250.0 {
+                    Observation::censored(250.0)
+                } else {
+                    Observation::event(d)
+                }
+            })
+            .collect();
+        let km = KaplanMeier::fit(&obs).unwrap();
+        for &t in &[10.0, 50.0, 100.0, 200.0] {
+            let s_true = truth.survival(t);
+            let s_km = km.survival(t);
+            assert!(
+                (s_km - s_true).abs() < 0.03,
+                "t = {t}: km {s_km} vs true {s_true}"
+            );
+        }
+    }
+
+    #[test]
+    fn median_none_when_majority_censored_late() {
+        let obs = vec![
+            Observation::event(1.0),
+            Observation::censored(100.0),
+            Observation::censored(100.0),
+            Observation::censored(100.0),
+        ];
+        let km = KaplanMeier::fit(&obs).unwrap();
+        // Survival only drops to 0.75; the median is never reached.
+        assert_eq!(km.median(), None);
+        assert!((km.survival(1.0) - 0.75).abs() < 1e-12);
+    }
+}

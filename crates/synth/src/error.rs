@@ -1,0 +1,78 @@
+//! Error type for the synthetic generator.
+
+use std::fmt;
+
+/// Errors produced while generating synthetic traces.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// The requested system id has no catalog entry or no calibration.
+    UnknownSystem {
+        /// The offending system id.
+        id: u32,
+    },
+    /// A statistical component could not be constructed.
+    Stats(hpcfail_stats::StatsError),
+    /// A generated record was invalid.
+    Record(hpcfail_records::RecordError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::UnknownSystem { id } => {
+                write!(f, "system {id} has no catalog entry or calibration")
+            }
+            SynthError::Stats(e) => write!(f, "statistics error: {e}"),
+            SynthError::Record(e) => write!(f, "record error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthError::Stats(e) => Some(e),
+            SynthError::Record(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hpcfail_stats::StatsError> for SynthError {
+    fn from(e: hpcfail_stats::StatsError) -> Self {
+        SynthError::Stats(e)
+    }
+}
+
+impl From<hpcfail_records::RecordError> for SynthError {
+    fn from(e: hpcfail_records::RecordError) -> Self {
+        SynthError::Record(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = SynthError::UnknownSystem { id: 99 };
+        assert!(e.to_string().contains("99"));
+        assert!(e.source().is_none());
+
+        let s: SynthError = hpcfail_stats::StatsError::EmptySample.into();
+        assert!(s.to_string().contains("statistics"));
+        assert!(s.source().is_some());
+
+        let r: SynthError = hpcfail_records::RecordError::EmptyTrace.into();
+        assert!(r.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<SynthError>();
+    }
+}

@@ -1,0 +1,66 @@
+//! What-if scenarios with the fluent builder: how do the paper's headline
+//! statistics respond when the generator's mechanisms are switched off
+//! one at a time?
+//!
+//! ```sh
+//! cargo run -p hpcfail --release --example what_if_scenarios
+//! ```
+
+use hpcfail::analysis::{periodic, tbf};
+use hpcfail::prelude::*;
+use hpcfail::synth::builder::ScenarioBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sys = SystemId::new(20);
+    let (_, late) = tbf::paper_era_split();
+
+    let scenarios: Vec<(&str, ScenarioBuilder)> = vec![
+        ("calibrated (paper-like)", ScenarioBuilder::lanl()),
+        (
+            "no failure clustering",
+            ScenarioBuilder::lanl().without_aftershocks(),
+        ),
+        (
+            "no correlated bursts",
+            ScenarioBuilder::lanl().without_bursts(),
+        ),
+        ("no daily rhythm", ScenarioBuilder::lanl().without_diurnal()),
+        (
+            "memoryless renewal (shape 1)",
+            ScenarioBuilder::lanl()
+                .uniform_gap_shape(1.0)
+                .without_aftershocks()
+                .without_bursts(),
+        ),
+    ];
+
+    println!(
+        "{:<30} {:>8} {:>8} {:>10} {:>12}",
+        "scenario", "shape", "C^2", "zero-gaps", "hour ratio"
+    );
+    for (label, builder) in scenarios {
+        let trace = builder.build_system(sys)?;
+        let a = tbf::analyze(&trace, tbf::View::SystemWide(sys), Some(late))?;
+        let hour_ratio = periodic::analyze(&trace)
+            .map(|p| p.hourly_peak_to_trough())
+            .unwrap_or(f64::NAN);
+        let early = tbf::analyze(
+            &trace,
+            tbf::View::SystemWide(sys),
+            Some(tbf::paper_era_split().0),
+        )?;
+        println!(
+            "{label:<30} {:>8.2} {:>8.2} {:>9.1}% {:>12.2}",
+            a.weibull_shape.unwrap_or(f64::NAN),
+            a.c2,
+            early.zero_fraction * 100.0,
+            hour_ratio
+        );
+    }
+    println!(
+        "\nreading: the paper's fitted shape 0.78 needs clustering; the 33% \
+         simultaneous failures need bursts; the 2x hour-of-day swing needs the \
+         diurnal profile — each mechanism maps to one observable."
+    );
+    Ok(())
+}

@@ -1,0 +1,375 @@
+//! Property-based tests (proptest) on the core invariants: distribution
+//! laws, record/trace algebra, CSV round-trips, and simulator
+//! conservation laws.
+
+use hpcfail::prelude::*;
+use hpcfail::records::io::{format_line, parse_line};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Distribution laws
+// ---------------------------------------------------------------------
+
+/// Strategy for plausible positive parameters over several magnitudes.
+fn positive_param() -> impl Strategy<Value = f64> {
+    (-2.0f64..6.0).prop_map(|e| 10f64.powf(e))
+}
+
+proptest! {
+    #[test]
+    fn weibull_cdf_monotone_and_bounded(
+        shape in 0.2f64..5.0,
+        scale in positive_param(),
+        a in 0.0f64..1e7,
+        b in 0.0f64..1e7,
+    ) {
+        let d = Weibull::new(shape, scale).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let fa = d.cdf(lo);
+        let fb = d.cdf(hi);
+        prop_assert!((0.0..=1.0).contains(&fa));
+        prop_assert!((0.0..=1.0).contains(&fb));
+        prop_assert!(fb >= fa);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf_for_all_families(
+        p in 0.001f64..0.999,
+        mean in positive_param(),
+    ) {
+        let dists: Vec<Box<dyn Continuous>> = vec![
+            Box::new(Exponential::from_mean(mean).unwrap()),
+            Box::new(Weibull::new(0.75, mean).unwrap()),
+            Box::new(Gamma::new(2.0, mean).unwrap()),
+            Box::new(LogNormal::new(mean.ln(), 1.2).unwrap()),
+            Box::new(Normal::new(mean, mean / 3.0).unwrap()),
+        ];
+        for d in &dists {
+            let x = d.quantile(p);
+            let round = d.cdf(x);
+            prop_assert!(
+                (round - p).abs() < 1e-6,
+                "{}: quantile({p}) = {x}, cdf = {round}",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pdf_nonnegative_and_survival_complements(
+        shape in 0.3f64..3.0,
+        scale in positive_param(),
+        x in 0.0f64..1e7,
+    ) {
+        let d = Weibull::new(shape, scale).unwrap();
+        prop_assert!(d.pdf(x) >= 0.0);
+        prop_assert!((d.cdf(x) + d.survival(x) - 1.0).abs() < 1e-12);
+        // Hazard = pdf / survival wherever survival > 0.
+        let s = d.survival(x);
+        if s > 1e-12 && x > 0.0 {
+            prop_assert!((d.hazard(x) - d.pdf(x) / s).abs() <= 1e-6 * d.hazard(x).abs().max(1e-12));
+        }
+    }
+
+    #[test]
+    fn lognormal_median_mean_construction(
+        median in positive_param(),
+        ratio in 1.01f64..50.0,
+    ) {
+        let mean = median * ratio;
+        let d = LogNormal::from_median_mean(median, mean).unwrap();
+        prop_assert!((d.median() - median).abs() / median < 1e-9);
+        prop_assert!((d.mean() - mean).abs() / mean < 1e-9);
+    }
+
+    #[test]
+    fn mle_fits_recover_scale_order_of_magnitude(
+        scale in 1.0f64..1e6,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let truth = Weibull::new(0.8, scale).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data = hpcfail::stats::dist::sample_n(&truth, 500, &mut rng);
+        let fit = Weibull::fit_mle(&data).unwrap();
+        prop_assert!(fit.scale() > scale / 3.0 && fit.scale() < scale * 3.0);
+        prop_assert!(fit.shape() > 0.5 && fit.shape() < 1.3);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Descriptive statistics
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn summary_bounds(data in prop::collection::vec(0.001f64..1e6, 1..200)) {
+        let s = hpcfail::stats::descriptive::Summary::from_sample(&data).unwrap();
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert_eq!(s.count, data.len());
+    }
+
+    #[test]
+    fn ecdf_is_a_cdf(data in prop::collection::vec(-1e6f64..1e6, 1..200), x in -2e6f64..2e6) {
+        let e = hpcfail::stats::ecdf::Ecdf::new(&data).unwrap();
+        let v = e.eval(x);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert_eq!(e.eval(e.max()), 1.0);
+        prop_assert!(e.eval(e.min() - 1.0) == 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Records and traces
+// ---------------------------------------------------------------------
+
+fn arbitrary_record() -> impl Strategy<Value = FailureRecord> {
+    (
+        1u32..=22,
+        0u32..64,
+        0u64..300_000_000,
+        0u64..1_000_000,
+        0usize..hpcfail::records::Workload::ALL.len(),
+        0usize..hpcfail::records::DetailedCause::ALL.len(),
+    )
+        .prop_map(|(sys, node, start, dur, w, d)| {
+            FailureRecord::new(
+                SystemId::new(sys),
+                NodeId::new(node),
+                Timestamp::from_secs(start),
+                Timestamp::from_secs(start + dur),
+                hpcfail::records::Workload::ALL[w],
+                hpcfail::records::DetailedCause::ALL[d],
+            )
+            .expect("end >= start by construction")
+        })
+}
+
+proptest! {
+    #[test]
+    fn record_csv_round_trip(record in arbitrary_record()) {
+        let line = format_line(&record);
+        let parsed = parse_line(&line, 1).unwrap();
+        prop_assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn trace_sorting_invariant(records in prop::collection::vec(arbitrary_record(), 0..100)) {
+        let trace = FailureTrace::from_records(records.clone());
+        prop_assert_eq!(trace.len(), records.len());
+        for w in trace.records().windows(2) {
+            prop_assert!(w[0].start() <= w[1].start());
+        }
+    }
+
+    #[test]
+    fn interarrivals_sum_to_span(records in prop::collection::vec(arbitrary_record(), 2..100)) {
+        let trace = FailureTrace::from_records(records);
+        let gaps = trace.interarrival_secs().unwrap();
+        let span = (trace.last_start().unwrap() - trace.first_start().unwrap()) as f64;
+        let total: f64 = gaps.iter().sum();
+        prop_assert!((total - span).abs() < 1e-6);
+        prop_assert!(gaps.iter().all(|&g| g >= 0.0));
+    }
+
+    #[test]
+    fn cause_filters_partition(records in prop::collection::vec(arbitrary_record(), 0..100)) {
+        let trace = FailureTrace::from_records(records);
+        let total: usize = RootCause::ALL.iter().map(|&c| trace.filter_cause(c).len()).sum();
+        prop_assert_eq!(total, trace.len());
+    }
+
+    #[test]
+    fn timestamp_civil_round_trip(secs in 0u64..400_000_000) {
+        let t = Timestamp::from_secs(secs);
+        let (y, m, d) = t.civil_date();
+        let rebuilt = Timestamp::from_civil(y, m, d, t.hour_of_day(), 0, 0).unwrap();
+        // Same calendar day and hour.
+        prop_assert_eq!(rebuilt.civil_date(), (y, m, d));
+        prop_assert_eq!(rebuilt.hour_of_day(), t.hour_of_day());
+        prop_assert_eq!(rebuilt.day_of_week(), t.day_of_week());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Survival analysis and count models
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn kaplan_meier_is_a_survival_function(
+        events in prop::collection::vec((0.01f64..1e5, prop::bool::ANY), 2..100),
+    ) {
+        use hpcfail::stats::survival::{KaplanMeier, Observation};
+        let obs: Vec<Observation> = events
+            .iter()
+            .map(|&(d, observed)| Observation { duration: d, observed })
+            .collect();
+        // Need at least one event; force the first to be observed.
+        let mut obs = obs;
+        obs[0].observed = true;
+        let km = KaplanMeier::fit(&obs).unwrap();
+        // Monotone non-increasing, within [0, 1].
+        let mut last = 1.0;
+        for (t, s) in km.steps() {
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!(s <= last + 1e-12);
+            prop_assert!(t >= 0.0);
+            last = s;
+        }
+        prop_assert_eq!(km.survival(-1.0), 1.0);
+    }
+
+    #[test]
+    fn negative_binomial_pmf_is_a_distribution(
+        r in 0.2f64..20.0,
+        p in 0.05f64..0.95,
+    ) {
+        use hpcfail::stats::dist::NegativeBinomial;
+        let d = NegativeBinomial::new(r, p).unwrap();
+        let mut total = 0.0;
+        let mut k = 0u64;
+        // Sum enough mass; the mean bounds the needed range.
+        let horizon = (d.mean() + 20.0 * d.variance().sqrt()) as u64 + 10;
+        while k <= horizon {
+            let pm = d.pmf(k);
+            prop_assert!(pm >= 0.0);
+            total += pm;
+            k += 1;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-6, "mass {total}");
+    }
+
+    #[test]
+    fn interval_union_conserves_coverage(
+        raw in prop::collection::vec((0u64..10_000, 0u64..500), 0..60),
+    ) {
+        use hpcfail::records::intervals::{union, Interval};
+        let intervals: Vec<Interval> = raw
+            .iter()
+            .map(|&(s, len)| Interval { start: s, end: s + len })
+            .collect();
+        let merged = union(intervals.clone());
+        // Disjoint and sorted.
+        for w in merged.windows(2) {
+            prop_assert!(w[0].end < w[1].start);
+        }
+        // Union length is at most the raw sum and covers every point.
+        let raw_sum: u64 = intervals.iter().map(Interval::secs).sum();
+        let merged_sum: u64 = merged.iter().map(Interval::secs).sum();
+        prop_assert!(merged_sum <= raw_sum);
+        for iv in &intervals {
+            if iv.secs() == 0 {
+                continue;
+            }
+            prop_assert!(
+                merged.iter().any(|m| m.start <= iv.start && iv.end <= m.end),
+                "interval {iv:?} not covered"
+            );
+        }
+    }
+
+    #[test]
+    fn spearman_is_bounded_and_symmetric(
+        pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..50),
+    ) {
+        use hpcfail::stats::correlation::spearman;
+        let x: Vec<f64> = pairs.iter().map(|&(a, _)| a).collect();
+        let y: Vec<f64> = pairs.iter().map(|&(_, b)| b).collect();
+        if let (Ok(xy), Ok(yx)) = (spearman(&x, &y), spearman(&y, &x)) {
+            prop_assert!((-1.0..=1.0).contains(&xy));
+            prop_assert!((xy - yx).abs() < 1e-9);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulator conservation laws
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn checkpoint_sim_conserves_time(
+        work_days in 1.0f64..30.0,
+        ckpt_min in 1.0f64..30.0,
+        mtbf_days in 0.5f64..20.0,
+        seed in 0u64..100,
+    ) {
+        use hpcfail::checkpoint::sim::{simulate, JobConfig};
+        use hpcfail::checkpoint::strategies::Periodic;
+        use rand::SeedableRng;
+        let job = JobConfig {
+            total_work_secs: work_days * 86_400.0,
+            checkpoint_cost_secs: ckpt_min * 60.0,
+            restart_cost_secs: 120.0,
+        };
+        let tbf = Weibull::new(0.75, mtbf_days * 86_400.0).unwrap();
+        let repair = Exponential::from_mean(3_600.0).unwrap();
+        let tau = hpcfail::checkpoint::daly::young_interval(
+            job.checkpoint_cost_secs,
+            tbf.mean(),
+        ).unwrap();
+        let strategy = Periodic::new(tau).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let out = simulate(&job, &strategy, &tbf, &repair, &mut rng).unwrap();
+        prop_assert!(out.conserves_time(), "{out:?}");
+        prop_assert!((out.useful_secs - job.total_work_secs).abs() < 1e-6);
+        prop_assert!(out.wall_secs >= job.total_work_secs);
+    }
+
+    #[test]
+    fn two_level_sim_conserves_time(
+        work_days in 1.0f64..20.0,
+        local_min in 0.2f64..5.0,
+        locals_per_global in 1u32..10,
+        recover_p in 0.0f64..1.0,
+        seed in 0u64..50,
+    ) {
+        use hpcfail::checkpoint::twolevel::{simulate_two_level, TwoLevelConfig};
+        use rand::SeedableRng;
+        let config = TwoLevelConfig {
+            total_work_secs: work_days * 86_400.0,
+            local_cost_secs: local_min * 60.0,
+            global_cost_secs: 600.0,
+            local_interval_secs: 2.0 * 3_600.0,
+            locals_per_global,
+            restart_cost_secs: 120.0,
+            local_recoverable_probability: recover_p,
+        };
+        let tbf = Weibull::new(0.75, 3.0 * 86_400.0).unwrap();
+        let repair = Exponential::from_mean(1_800.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let out = simulate_two_level(&config, &tbf, &repair, &mut rng).unwrap();
+        prop_assert!(out.conserves_time(), "{out:?}");
+        prop_assert!((out.useful_secs - config.total_work_secs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sched_sim_accounting(
+        n_jobs in 1usize..10,
+        width in 1u32..4,
+        hours in 1.0f64..48.0,
+        seed in 0u64..100,
+    ) {
+        use hpcfail::sched::policy::RandomPlacement;
+        use hpcfail::sched::sim::{run, Job, NodeTruth, SimConfig};
+        let nodes = vec![NodeTruth { failures_per_year: 12.0, weibull_shape: 0.75 }; 8];
+        let jobs = vec![Job { width, work_secs: hours * 3_600.0 }; n_jobs];
+        let config = SimConfig {
+            mean_repair_secs: 3_600.0,
+            horizon_secs: 0.5 * hpcfail::records::time::YEAR as f64,
+            seed,
+        };
+        let m = run(&nodes, &RandomPlacement, &jobs, &config).unwrap();
+        prop_assert_eq!(m.completed + m.unfinished, n_jobs as u64);
+        let expected_useful = m.completed as f64 * hours * 3_600.0 * width as f64;
+        prop_assert!((m.useful_node_secs - expected_useful).abs() < 1e-3);
+        prop_assert!(m.makespan_secs <= config.horizon_secs + 1e-6);
+        if m.aborts == 0 {
+            prop_assert_eq!(m.wasted_node_secs, 0.0);
+        }
+    }
+}
