@@ -1,0 +1,67 @@
+//! Serial vs parallel cost of the engine's two hottest paths — trace
+//! synthesis and the bootstrap — at 1/2/4/8 workers. One worker is the
+//! engine's thread-free serial fallback, so the 1-worker row is the
+//! serial baseline. Results are recorded in
+//! `experiments/BENCH_parallel.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcfail_exec::ParallelExecutor;
+use hpcfail_records::{Catalog, SystemId};
+use hpcfail_stats::bootstrap::percentile_ci_parallel;
+use hpcfail_stats::descriptive::mean;
+use hpcfail_stats::dist::{sample_n, Weibull};
+use hpcfail_synth::config::Calibration;
+use hpcfail_synth::TraceGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_parallel_synth(c: &mut Criterion) {
+    let catalog = Catalog::lanl();
+    let calibration = Calibration::lanl();
+    let mut group = c.benchmark_group("parallel_synth_system20");
+    group.sample_size(10);
+    for &workers in &WORKERS {
+        let generator = TraceGenerator::new(&catalog, &calibration)
+            .unwrap()
+            .with_executor(ParallelExecutor::with_workers(workers));
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| {
+                generator
+                    .system_trace(black_box(SystemId::new(20)), 42)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_bootstrap(c: &mut Criterion) {
+    let truth = Weibull::new(0.75, 600.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let data = sample_n(&truth, 5_000, &mut rng);
+    let mut group = c.benchmark_group("parallel_bootstrap_mean_5k");
+    group.sample_size(10);
+    for &workers in &WORKERS {
+        let pool = ParallelExecutor::with_workers(workers);
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| {
+                percentile_ci_parallel(
+                    black_box(&data),
+                    |d| Some(mean(d)),
+                    1_000,
+                    0.95,
+                    42,
+                    &pool,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_synth, bench_parallel_bootstrap);
+criterion_main!(benches);

@@ -214,9 +214,11 @@ mod tests {
         assert!(timeline.len() > 100, "graphics node has a rich history");
         let spec_start = Timestamp::from_civil(1999, 1, 1, 0, 0, 0).unwrap();
         let strategy = Periodic::new(6.0 * 3_600.0).unwrap();
+        // 90 days of work: node 22 averages a few failures per month, but
+        // individual quiet months exist, so replay across a quarter.
         let out = replay(
             &JobConfig {
-                total_work_secs: 30.0 * 86_400.0,
+                total_work_secs: 90.0 * 86_400.0,
                 checkpoint_cost_secs: 300.0,
                 restart_cost_secs: 600.0,
             },
@@ -225,9 +227,9 @@ mod tests {
             spec_start,
         )
         .unwrap();
-        assert!(out.failures > 0, "a month on node 22 sees failures");
+        assert!(out.failures > 0, "a quarter on node 22 sees failures");
         assert!(out.conserves_time(), "{out:?}");
-        assert!((out.useful_secs - 30.0 * 86_400.0).abs() < 1e-6);
+        assert!((out.useful_secs - 90.0 * 86_400.0).abs() < 1e-6);
     }
 
     #[test]

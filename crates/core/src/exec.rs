@@ -1,0 +1,70 @@
+//! Parallel execution for the analysis layer.
+//!
+//! Re-exports the workspace execution engine (`hpcfail-exec`) — the
+//! scoped-thread [`ParallelExecutor`] and the [`SeedSequence`] stream
+//! splitter — and adds the core-specific helpers for fanning an analysis
+//! out across the 22 catalog systems.
+//!
+//! The engine lives in its own bottom-of-stack crate (rather than here)
+//! because `hpcfail-stats` also needs it for the parallel bootstrap and
+//! must not depend on the analysis layer; this module is the analysis-side
+//! front door. See DESIGN.md §"Execution model".
+//!
+//! Determinism: per-system results are collected in catalog order no
+//! matter which worker computes them, so every helper here returns the
+//! same value for any worker count.
+
+use hpcfail_records::{Catalog, SystemSpec};
+
+pub use hpcfail_exec::{
+    derive_stream_seed, splitmix64, ExecError, ParallelExecutor, SeedSequence, GOLDEN_GAMMA,
+    THREADS_ENV,
+};
+
+/// Apply `f` to every system in the catalog concurrently, returning the
+/// results in catalog order.
+///
+/// The worker count follows the environment
+/// ([`ParallelExecutor::from_env`], honoring `HPCFAIL_THREADS`); use
+/// [`par_system_map_with`] to pin it.
+pub fn par_system_map<O, F>(catalog: &Catalog, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(&SystemSpec) -> O + Sync,
+{
+    par_system_map_with(&ParallelExecutor::from_env(), catalog, f)
+}
+
+/// [`par_system_map`] with an explicit executor.
+pub fn par_system_map_with<O, F>(executor: &ParallelExecutor, catalog: &Catalog, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(&SystemSpec) -> O + Sync,
+{
+    executor.map_indexed(catalog.systems(), |_, spec| f(spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_catalog_order_for_any_worker_count() {
+        let catalog = Catalog::lanl();
+        let serial: Vec<u32> = catalog.systems().iter().map(|s| s.id().get()).collect();
+        for workers in [1, 2, 8] {
+            let pool = ParallelExecutor::with_workers(workers);
+            let ids = par_system_map_with(&pool, &catalog, |s| s.id().get());
+            assert_eq!(ids, serial, "workers {workers}");
+        }
+        assert_eq!(par_system_map(&catalog, |s| s.id().get()), serial);
+    }
+
+    #[test]
+    fn engine_reexports_are_usable() {
+        // The analysis layer reaches the engine through this module alone.
+        let seq = SeedSequence::new(7);
+        assert_eq!(seq.stream(3), derive_stream_seed(7, 3));
+        assert!(ParallelExecutor::from_env().workers() >= 1);
+    }
+}

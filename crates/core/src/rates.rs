@@ -102,25 +102,23 @@ pub fn analyze(trace: &FailureTrace, catalog: &Catalog) -> Result<RateAnalysis, 
         });
     }
     let counts = trace.count_by_system();
-    let rates = catalog
-        .systems()
-        .iter()
-        .map(|spec| {
-            let failures = counts.get(&spec.id()).copied().unwrap_or(0);
-            let years = spec.production_years();
-            let per_year = failures as f64 / years;
-            SystemRate {
-                system: spec.id(),
-                hardware: spec.hardware(),
-                failures,
-                years,
-                procs: spec.procs(),
-                nodes: spec.nodes(),
-                per_year,
-                per_proc_year: per_year / spec.procs() as f64,
-            }
-        })
-        .collect();
+    // Fan out over systems; results come back in catalog order for any
+    // worker count.
+    let rates = crate::exec::par_system_map(catalog, |spec| {
+        let failures = counts.get(&spec.id()).copied().unwrap_or(0);
+        let years = spec.production_years();
+        let per_year = failures as f64 / years;
+        SystemRate {
+            system: spec.id(),
+            hardware: spec.hardware(),
+            failures,
+            years,
+            procs: spec.procs(),
+            nodes: spec.nodes(),
+            per_year,
+            per_proc_year: per_year / spec.procs() as f64,
+        }
+    });
     Ok(RateAnalysis { rates })
 }
 

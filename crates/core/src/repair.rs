@@ -107,23 +107,25 @@ pub struct SystemRepair {
 /// Compute per-system mean/median repair times (Fig. 7(b)(c)). Systems
 /// with no records in the trace are omitted.
 pub fn by_system(trace: &FailureTrace, catalog: &Catalog) -> Vec<SystemRepair> {
-    catalog
-        .systems()
-        .iter()
-        .filter_map(|spec| {
-            let minutes = trace.filter_system(spec.id()).downtimes_minutes();
-            if minutes.is_empty() {
-                return None;
-            }
-            Some(SystemRepair {
-                system: spec.id(),
-                hardware: spec.hardware(),
-                count: minutes.len(),
-                mean_minutes: descriptive::mean(&minutes),
-                median_minutes: descriptive::median(&minutes),
-            })
+    // Each system's summary is independent of the others; fan out and
+    // keep catalog order (the fan-out returns results at their input
+    // index, so this is deterministic for any worker count).
+    crate::exec::par_system_map(catalog, |spec| {
+        let minutes = trace.filter_system(spec.id()).downtimes_minutes();
+        if minutes.is_empty() {
+            return None;
+        }
+        Some(SystemRepair {
+            system: spec.id(),
+            hardware: spec.hardware(),
+            count: minutes.len(),
+            mean_minutes: descriptive::mean(&minutes),
+            median_minutes: descriptive::median(&minutes),
         })
-        .collect()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// The paper's type-effect check: the spread (max/min) of mean repair

@@ -24,6 +24,7 @@
 
 pub use hpcfail_checkpoint as checkpoint;
 pub use hpcfail_core as analysis;
+pub use hpcfail_exec as exec;
 pub use hpcfail_records as records;
 pub use hpcfail_sched as sched;
 pub use hpcfail_stats as stats;
@@ -33,6 +34,7 @@ pub use hpcfail_synth as synth;
 pub mod prelude {
     pub use hpcfail_core::rootcause::CauseBreakdown;
     pub use hpcfail_core::AnalysisError;
+    pub use hpcfail_exec::{ParallelExecutor, SeedSequence};
     pub use hpcfail_records::{
         Catalog, DetailedCause, FailureRecord, FailureTrace, HardwareType, NodeId, RecordError,
         RootCause, SystemId, Timestamp, Workload,

@@ -2,6 +2,7 @@
 //! knowledge (Section 5.1's proposal) as a function of cluster
 //! heterogeneity and load.
 
+use hpcfail_exec::{derive_stream_seed, ParallelExecutor};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -91,20 +92,27 @@ pub fn compare_policies(config: &StudyConfig) -> Result<Vec<PolicyResult>, Sched
         };
         config.jobs as usize
     ];
-    let policies: [&dyn Policy; 3] = [&RandomPlacement, &LeastFailureRate, &LongestUptime];
+    let policies: [&(dyn Policy + Sync); 3] = [&RandomPlacement, &LeastFailureRate, &LongestUptime];
+    // Replications are independent simulations: fan them out across the
+    // pool, each on its own SplitMix64-derived seed stream, so the study
+    // result is identical for any worker count.
+    let executor = ParallelExecutor::from_env();
     let mut results = Vec::new();
     for policy in policies {
-        let mut eff = 0.0;
-        let mut aborts = 0.0;
-        let mut makespan = 0.0;
-        for rep in 0..config.replications {
+        let per_rep = executor.map_range(config.replications as usize, |rep| {
             let sim_config = SimConfig {
                 mean_repair_secs: 6.0 * 3_600.0,
                 horizon_secs: 4.0 * hpcfail_records::time::YEAR as f64,
-                seed: config.seed ^ u64::from(rep).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                seed: derive_stream_seed(config.seed, rep as u64),
             };
             // The informed policies see the prior; random ignores it.
-            let m = run_with_prior(&nodes, policy, &jobs, &sim_config, Some(&prior))?;
+            run_with_prior(&nodes, policy, &jobs, &sim_config, Some(&prior))
+        });
+        let mut eff = 0.0;
+        let mut aborts = 0.0;
+        let mut makespan = 0.0;
+        for m in per_rep {
+            let m = m?;
             eff += m.efficiency();
             aborts += m.aborts as f64;
             makespan += m.makespan_secs / 86_400.0;
@@ -146,9 +154,13 @@ pub fn heterogeneity_sweep(
 mod tests {
     use super::*;
 
+    // 20 replications: with 8 five-day jobs per run the efficiency
+    // estimate is noisy, and below ~10 replications the random baseline
+    // can beat the informed policy on unlucky seeds. The replications
+    // run in parallel, so this stays fast.
     fn quick() -> StudyConfig {
         StudyConfig {
-            replications: 3,
+            replications: 20,
             ..StudyConfig::default_study()
         }
     }
@@ -197,7 +209,6 @@ mod tests {
         // and all policies land within noise of each other.
         let config = StudyConfig {
             flaky_multiplier: 1.0,
-            replications: 4,
             ..quick()
         };
         let results = compare_policies(&config).unwrap();

@@ -4,7 +4,9 @@
 //! hence decreasing hazard" conclusion stable under resampling?
 
 use crate::error::StatsError;
-use rand::{Rng, RngExt};
+use hpcfail_exec::{ParallelExecutor, SeedSequence};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
 
 /// A two-sided percentile bootstrap confidence interval for an arbitrary
 /// statistic.
@@ -100,13 +102,79 @@ where
     })
 }
 
+/// Deterministic, parallel percentile bootstrap.
+///
+/// Same statistic and quantile scheme as [`bootstrap_ci`], but each
+/// replicate draws from its own RNG stream derived from `seed` via the
+/// SplitMix64 stream splitter, and replicates are fanned out across the
+/// executor's workers. Because the replicate→stream mapping is fixed and
+/// results are collected in replicate order, the returned interval is
+/// **bit-identical for every worker count** (1 worker is the serial
+/// fallback) — the determinism contract `tests/parallel_determinism.rs`
+/// pins down.
+///
+/// # Errors
+///
+/// Same conditions as [`bootstrap_ci`].
+pub fn percentile_ci_parallel<F>(
+    data: &[f64],
+    statistic: F,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+    executor: &ParallelExecutor,
+) -> Result<ConfidenceInterval, StatsError>
+where
+    F: Fn(&[f64]) -> Option<f64> + Sync,
+{
+    if data.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if !(0.0..1.0).contains(&level) || level <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "level",
+            value: level,
+        });
+    }
+    if replicates == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "replicates",
+            value: 0.0,
+        });
+    }
+    let point = statistic(data).ok_or(StatsError::DegenerateSample)?;
+    let n = data.len();
+    let streams = SeedSequence::new(seed);
+    let replicate_stats = executor.map_range(replicates, |r| {
+        let mut rng = StdRng::seed_from_u64(streams.stream(r as u64));
+        let mut resample = vec![0.0f64; n];
+        for slot in resample.iter_mut() {
+            *slot = data[rng.random_range(0..n)];
+        }
+        statistic(&resample).filter(|s| s.is_finite())
+    });
+    let mut stats: Vec<f64> = replicate_stats.into_iter().flatten().collect();
+    if stats.len() < replicates / 2 {
+        return Err(StatsError::NoConvergence {
+            what: "bootstrap (too many failed resamples)",
+            iterations: replicates,
+        });
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite stats"));
+    let alpha = (1.0 - level) / 2.0;
+    Ok(ConfidenceInterval {
+        lo: crate::descriptive::quantile_sorted(&stats, alpha),
+        point,
+        hi: crate::descriptive::quantile_sorted(&stats, 1.0 - alpha),
+        level,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::descriptive::mean;
     use crate::dist::{sample_n, Continuous, Weibull};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn input_validation() {
@@ -172,6 +240,56 @@ mod tests {
         let ci_small = bootstrap_ci(&small, |d| Some(mean(d)), 300, 0.95, &mut rng).unwrap();
         let ci_large = bootstrap_ci(&large, |d| Some(mean(d)), 300, 0.95, &mut rng).unwrap();
         assert!(ci_large.width() < ci_small.width());
+    }
+
+    #[test]
+    fn parallel_ci_identical_for_any_worker_count() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let truth = Weibull::new(0.75, 600.0).unwrap();
+        let data = sample_n(&truth, 400, &mut rng);
+        let stat = |d: &[f64]| Some(mean(d));
+        let reference = percentile_ci_parallel(
+            &data,
+            stat,
+            500,
+            0.95,
+            42,
+            &ParallelExecutor::with_workers(1),
+        )
+        .unwrap();
+        for workers in [2, 3, 8] {
+            let ci = percentile_ci_parallel(
+                &data,
+                stat,
+                500,
+                0.95,
+                42,
+                &ParallelExecutor::with_workers(workers),
+            )
+            .unwrap();
+            assert_eq!(ci, reference, "workers {workers}");
+        }
+        // Different seeds give different intervals.
+        let other = percentile_ci_parallel(
+            &data,
+            stat,
+            500,
+            0.95,
+            43,
+            &ParallelExecutor::with_workers(4),
+        )
+        .unwrap();
+        assert_ne!(other, reference);
+        assert!(reference.contains(truth.mean()));
+    }
+
+    #[test]
+    fn parallel_ci_validates_inputs() {
+        let pool = ParallelExecutor::with_workers(2);
+        let stat = |d: &[f64]| Some(mean(d));
+        assert!(percentile_ci_parallel(&[], stat, 100, 0.95, 1, &pool).is_err());
+        assert!(percentile_ci_parallel(&[1.0], stat, 0, 0.95, 1, &pool).is_err());
+        assert!(percentile_ci_parallel(&[1.0], stat, 100, 1.5, 1, &pool).is_err());
     }
 
     #[test]

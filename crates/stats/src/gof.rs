@@ -66,6 +66,74 @@ pub fn log_likelihood_ratio(a: &dyn Continuous, b: &dyn Continuous, data: &[f64]
     b.nll(data) - a.nll(data)
 }
 
+/// Result of a chi-squared test (see [`chi_squared_uniform`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    /// The chi-squared statistic `Σ (observed − expected)² / expected`.
+    pub statistic: f64,
+    /// Degrees of freedom (`bins − 1`).
+    pub df: usize,
+    /// Upper-tail p-value `P(χ²_df > statistic)`.
+    pub p_value: f64,
+}
+
+/// Pearson chi-squared test of uniformity on `[0, 1)` with equal-width
+/// bins. Used by the seed-stream regression tests to verify that derived
+/// RNG streams look uniform (a structural failure of the stream splitter
+/// would bunch outputs and reject here).
+///
+/// # Errors
+///
+/// [`crate::StatsError::EmptySample`] for empty input;
+/// [`crate::StatsError::InvalidParameter`] for fewer than 2 bins or a
+/// sample too small for the expected bin count to reach 5 (the usual
+/// validity rule of thumb); [`crate::StatsError::OutOfSupport`] if any
+/// sample falls outside `[0, 1)`.
+pub fn chi_squared_uniform(samples: &[f64], bins: usize) -> Result<ChiSquared, crate::StatsError> {
+    use crate::StatsError;
+    if samples.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if bins < 2 {
+        return Err(StatsError::InvalidParameter {
+            name: "bins",
+            value: bins as f64,
+        });
+    }
+    let expected = samples.len() as f64 / bins as f64;
+    if expected < 5.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "samples per bin",
+            value: expected,
+        });
+    }
+    let mut observed = vec![0u64; bins];
+    for &u in samples {
+        if !(0.0..1.0).contains(&u) {
+            return Err(StatsError::OutOfSupport {
+                distribution: "uniform[0,1)",
+            });
+        }
+        let b = ((u * bins as f64) as usize).min(bins - 1);
+        observed[b] += 1;
+    }
+    let statistic: f64 = observed
+        .iter()
+        .map(|&o| {
+            let d = o as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    let df = bins - 1;
+    // χ²_df upper tail = Q(df/2, x/2).
+    let p_value = crate::special::regularized_gamma_q(df as f64 / 2.0, statistic / 2.0);
+    Ok(ChiSquared {
+        statistic,
+        df,
+        p_value,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +184,22 @@ mod tests {
         let d = 1.36 / (n as f64).sqrt();
         let p = ks_p_value(d, n);
         assert!((p - 0.05).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn chi_squared_accepts_uniform_rejects_skew() {
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(9);
+        let uniform: Vec<f64> = (0..20_000).map(|_| rng.random::<f64>()).collect();
+        let ok = chi_squared_uniform(&uniform, 64).unwrap();
+        assert!(ok.p_value > 0.001, "uniform rejected: {ok:?}");
+        let skewed: Vec<f64> = uniform.iter().map(|u| u * u).collect();
+        let bad = chi_squared_uniform(&skewed, 64).unwrap();
+        assert!(bad.p_value < 1e-6, "skew accepted: {bad:?}");
+        assert!(chi_squared_uniform(&[], 10).is_err());
+        assert!(chi_squared_uniform(&uniform, 1).is_err());
+        assert!(chi_squared_uniform(&[0.1; 6], 2).is_err()); // < 5 per bin
+        assert!(chi_squared_uniform(&[2.0; 100], 4).is_err()); // support
     }
 
     #[test]

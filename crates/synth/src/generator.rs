@@ -30,6 +30,7 @@
 //!    simultaneous failures on other nodes — reproducing the >30%
 //!    zero-gap inter-arrivals of Fig. 6(c).
 
+use hpcfail_exec::{derive_stream_seed, ParallelExecutor, SeedSequence};
 use hpcfail_records::{
     Catalog, FailureRecord, FailureTrace, NodeId, SystemId, SystemSpec, Timestamp,
 };
@@ -48,15 +49,24 @@ use crate::repair::RepairModel;
 const MIN_MODULATION: f64 = 0.05;
 
 /// Generates calibrated synthetic failure traces.
+///
+/// Node event streams are generated in parallel across the executor's
+/// workers. Every node draws from its own RNG stream derived from the
+/// per-system root seed, and per-node record batches are concatenated in
+/// node order, so the output trace is **byte-identical for every worker
+/// count** (including the 1-worker serial fallback).
 #[derive(Debug)]
 pub struct TraceGenerator<'a> {
     catalog: &'a Catalog,
     calibration: &'a Calibration,
     repair: RepairModel,
+    executor: ParallelExecutor,
 }
 
 impl<'a> TraceGenerator<'a> {
-    /// Create a generator over a catalog and calibration.
+    /// Create a generator over a catalog and calibration. The executor is
+    /// taken from the environment ([`ParallelExecutor::from_env`], honoring
+    /// `HPCFAIL_THREADS`).
     ///
     /// # Errors
     ///
@@ -66,7 +76,15 @@ impl<'a> TraceGenerator<'a> {
             catalog,
             calibration,
             repair: RepairModel::calibrated(catalog, calibration)?,
+            executor: ParallelExecutor::from_env(),
         })
+    }
+
+    /// Replace the executor (e.g. to force a worker count in tests).
+    #[must_use]
+    pub fn with_executor(mut self, executor: ParallelExecutor) -> Self {
+        self.executor = executor;
+        self
     }
 
     /// Generate the trace of a single system.
@@ -87,11 +105,11 @@ impl<'a> TraceGenerator<'a> {
             .calibration
             .system(system)
             .ok_or(SynthError::UnknownSystem { id: system.get() })?;
-        // Decorrelate per-system streams while keeping determinism.
-        let mut rng = StdRng::seed_from_u64(
-            seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(system.get()))),
-        );
-        self.generate_system(spec, config, &mut rng)
+        // Decorrelate per-system streams while keeping determinism: each
+        // system gets its own SplitMix64-derived root seed, from which
+        // every node derives its own streams.
+        let root = derive_stream_seed(seed, u64::from(system.get()));
+        self.generate_system(spec, config, root)
     }
 
     /// Generate the full 22-system site trace.
@@ -108,12 +126,20 @@ impl<'a> TraceGenerator<'a> {
         Ok(all)
     }
 
+    /// Generate one system from its root seed.
+    ///
+    /// Node `n` owns two seed streams: `2n` for its heterogeneity weight
+    /// draw and `2n + 1` for its event loop. Streams depend only on
+    /// `(root, n)`, never on which worker runs the node, and per-node
+    /// batches are concatenated in node order — the source of the
+    /// worker-count independence guarantee.
     fn generate_system(
         &self,
         spec: &SystemSpec,
         config: &SystemConfig,
-        rng: &mut StdRng,
+        root: u64,
     ) -> Result<FailureTrace, SynthError> {
+        let streams = SeedSequence::new(root);
         let start = spec.production_start();
         let end = spec.production_end();
         let lifetime_secs = (end - start) as f64;
@@ -153,7 +179,9 @@ impl<'a> TraceGenerator<'a> {
             _ => 1.0,
         };
 
-        // Per-node rate weights.
+        // Per-node rate weights, each drawn from the node's own weight
+        // stream (index 2n) so a node's weight never depends on how many
+        // nodes precede it in generation order.
         let node_count = spec.nodes();
         let weights: Vec<f64> = (0..node_count)
             .map(|n| {
@@ -166,9 +194,10 @@ impl<'a> TraceGenerator<'a> {
                     hpcfail_records::Workload::Graphics => config.graphics_multiplier,
                     hpcfail_records::Workload::FrontEnd => config.frontend_multiplier,
                     hpcfail_records::Workload::Compute => {
+                        let mut wrng = StdRng::seed_from_u64(streams.stream(2 * u64::from(n)));
                         let sigma = config.node_heterogeneity_sigma;
                         let z = hpcfail_stats::special::inverse_standard_normal_cdf(
-                            crate::open_unit(rng),
+                            crate::open_unit(&mut wrng),
                         );
                         (sigma * z - sigma * sigma / 2.0).exp()
                     }
@@ -190,113 +219,133 @@ impl<'a> TraceGenerator<'a> {
         let gap_c2 = early_g2 / (early_g1 * early_g1) - 1.0;
         let startup_surplus = ((gap_c2 - 1.0) / 2.0).max(0.0);
 
-        let mut records: Vec<FailureRecord> = Vec::with_capacity(target_total as usize + 16);
-
-        for (n, &w) in weights.iter().enumerate() {
-            let node = NodeId::new(n as u32);
-            let base = target_total / burst_inflation * w / weight_total;
-            // Renewal-function inversion: an ordinary renewal process
-            // over a horizon of x mean gaps yields M(x) ≈ x + S∞·x/(x+b)
-            // events (S∞ = (C²−1)/2; b ≈ 0.7 measured empirically for
-            // Weibull shapes 0.55–0.75). Solve M(x) = base for x so the
-            // generated count hits the target even when the start-up
-            // surplus rivals the target itself.
-            const TAPER_B: f64 = 0.7;
-            let q = TAPER_B + startup_surplus - base;
-            let expected = 0.5 * (-q + (q * q + 4.0 * base * TAPER_B).sqrt());
-            if expected <= 0.05 {
-                continue;
-            }
-            let mean_gap_secs = lifetime_secs / expected;
-            let scale = mean_gap_secs / gamma_factor;
-            let gap_dist = Weibull::new(config.tbf_shape, scale)?;
-            // Same mean gap, burstier shape for the immature era.
-            let early_gamma = ln_gamma(1.0 + 1.0 / config.early_tbf_shape).exp();
-            let early_gap_dist = Weibull::new(config.early_tbf_shape, mean_gap_secs / early_gamma)?;
-
-            // Ordinary renewal: the first failure arrives after a full
-            // gap from production start (the system is new: early shape).
-            let mut t = advance_by_operational_gap(
-                start.as_secs() as f64,
-                early_gap_dist.sample(rng),
-                start.as_secs() as f64,
-                lifecycle_mean,
-                config,
-            );
-            while t < end.as_secs() as f64 {
-                let at = Timestamp::from_secs(t as u64);
-                let age_months = (t - start.as_secs() as f64) / hpcfail_records::time::MONTH as f64;
-                // Emit the failure at the current (already modulated) time.
-                let record = self.make_record(spec, config, &detail_model, node, at, rng)?;
-                let age_ok = config
-                    .burst
-                    .map(|b| age_months < b.until_month)
-                    .unwrap_or(false);
-                records.push(record);
-                // Aftershock: the repair didn't take — the same node fails
-                // again a few hours later. Immature systems cluster more.
-                let aftershock_p = if age_months < config.early_instability_months {
-                    (config.aftershock_probability * config.early_aftershock_multiplier).min(0.9)
-                } else {
-                    config.aftershock_probability
-                };
-                if rng.random::<f64>() < aftershock_p {
-                    let delay_secs =
-                        -crate::open_unit(rng).ln() * config.aftershock_mean_hours * 3_600.0;
-                    let shock_t = t + delay_secs.max(60.0);
-                    if shock_t < end.as_secs() as f64 {
-                        records.push(self.make_record(
-                            spec,
-                            config,
-                            &detail_model,
-                            node,
-                            Timestamp::from_secs(shock_t as u64),
-                            rng,
-                        )?);
-                    }
+        // Fan the per-node event loops out across the pool. Each node's
+        // loop runs on its own RNG stream (index 2n + 1), so the batch a
+        // node produces is a pure function of (root, n) and the fan-out is
+        // safe to run with any worker count.
+        let per_node = self.executor.map_indexed(
+            &weights,
+            |n, &w| -> Result<Vec<FailureRecord>, SynthError> {
+                let mut rng = StdRng::seed_from_u64(streams.stream(2 * n as u64 + 1));
+                let node = NodeId::new(n as u32);
+                let mut node_records: Vec<FailureRecord> = Vec::new();
+                let rng = &mut rng;
+                let base = target_total / burst_inflation * w / weight_total;
+                // Renewal-function inversion: an ordinary renewal process
+                // over a horizon of x mean gaps yields M(x) ≈ x + S∞·x/(x+b)
+                // events (S∞ = (C²−1)/2; b ≈ 0.7 measured empirically for
+                // Weibull shapes 0.55–0.75). Solve M(x) = base for x so the
+                // generated count hits the target even when the start-up
+                // surplus rivals the target itself.
+                const TAPER_B: f64 = 0.7;
+                let q = TAPER_B + startup_surplus - base;
+                let expected = 0.5 * (-q + (q * q + 4.0 * base * TAPER_B).sqrt());
+                if expected <= 0.05 {
+                    return Ok(node_records);
                 }
-                // Correlated burst: extra simultaneous failures on other
-                // nodes during the early era.
-                if let Some(burst) = config.burst {
-                    if age_ok && rng.random::<f64>() < burst.probability && node_count > 1 {
-                        let extra = rng
-                            .random_range(burst.min_extra..=burst.max_extra.max(burst.min_extra));
-                        for _ in 0..extra {
-                            let other = loop {
-                                let candidate = rng.random_range(0..node_count);
-                                if candidate != n as u32 {
-                                    break NodeId::new(candidate);
-                                }
-                            };
-                            records.push(self.make_record(
-                                spec,
-                                config,
-                                &detail_model,
-                                other,
-                                at,
-                                rng,
-                            )?);
-                        }
-                    }
-                }
-                // Advance by a Weibull gap measured in operational time,
-                // mapped to wall time through the intensity integral. The
-                // immature era draws from the burstier early shape.
-                let gap = if age_months < config.early_instability_months {
-                    early_gap_dist.sample(rng)
-                } else {
-                    gap_dist.sample(rng)
-                };
-                t = advance_by_operational_gap(
-                    t,
-                    gap,
+                let mean_gap_secs = lifetime_secs / expected;
+                let scale = mean_gap_secs / gamma_factor;
+                let gap_dist = Weibull::new(config.tbf_shape, scale)?;
+                // Same mean gap, burstier shape for the immature era.
+                let early_gamma = ln_gamma(1.0 + 1.0 / config.early_tbf_shape).exp();
+                let early_gap_dist =
+                    Weibull::new(config.early_tbf_shape, mean_gap_secs / early_gamma)?;
+
+                // Ordinary renewal: the first failure arrives after a full
+                // gap from production start (the system is new: early shape).
+                let mut t = advance_by_operational_gap(
+                    start.as_secs() as f64,
+                    early_gap_dist.sample(rng),
                     start.as_secs() as f64,
                     lifecycle_mean,
                     config,
                 );
-            }
-        }
+                while t < end.as_secs() as f64 {
+                    let at = Timestamp::from_secs(t as u64);
+                    let age_months =
+                        (t - start.as_secs() as f64) / hpcfail_records::time::MONTH as f64;
+                    // Emit the failure at the current (already modulated) time.
+                    let record = self.make_record(spec, config, &detail_model, node, at, rng)?;
+                    let age_ok = config
+                        .burst
+                        .map(|b| age_months < b.until_month)
+                        .unwrap_or(false);
+                    node_records.push(record);
+                    // Aftershock: the repair didn't take — the same node fails
+                    // again a few hours later. Immature systems cluster more.
+                    let aftershock_p = if age_months < config.early_instability_months {
+                        (config.aftershock_probability * config.early_aftershock_multiplier)
+                            .min(0.9)
+                    } else {
+                        config.aftershock_probability
+                    };
+                    if rng.random::<f64>() < aftershock_p {
+                        let delay_secs =
+                            -crate::open_unit(rng).ln() * config.aftershock_mean_hours * 3_600.0;
+                        let shock_t = t + delay_secs.max(60.0);
+                        if shock_t < end.as_secs() as f64 {
+                            node_records.push(self.make_record(
+                                spec,
+                                config,
+                                &detail_model,
+                                node,
+                                Timestamp::from_secs(shock_t as u64),
+                                rng,
+                            )?);
+                        }
+                    }
+                    // Correlated burst: extra simultaneous failures on other
+                    // nodes during the early era.
+                    if let Some(burst) = config.burst {
+                        if age_ok && rng.random::<f64>() < burst.probability && node_count > 1 {
+                            let extra = rng.random_range(
+                                burst.min_extra..=burst.max_extra.max(burst.min_extra),
+                            );
+                            for _ in 0..extra {
+                                let other = loop {
+                                    let candidate = rng.random_range(0..node_count);
+                                    if candidate != n as u32 {
+                                        break NodeId::new(candidate);
+                                    }
+                                };
+                                node_records.push(self.make_record(
+                                    spec,
+                                    config,
+                                    &detail_model,
+                                    other,
+                                    at,
+                                    rng,
+                                )?);
+                            }
+                        }
+                    }
+                    // Advance by a Weibull gap measured in operational time,
+                    // mapped to wall time through the intensity integral. The
+                    // immature era draws from the burstier early shape.
+                    let gap = if age_months < config.early_instability_months {
+                        early_gap_dist.sample(rng)
+                    } else {
+                        gap_dist.sample(rng)
+                    };
+                    t = advance_by_operational_gap(
+                        t,
+                        gap,
+                        start.as_secs() as f64,
+                        lifecycle_mean,
+                        config,
+                    );
+                }
+                Ok(node_records)
+            },
+        );
 
+        // Concatenate per-node batches in node order; `from_records`'s
+        // stable sort then yields the same trace no matter how the batches
+        // were scheduled across workers.
+        let mut records: Vec<FailureRecord> = Vec::with_capacity(target_total as usize + 16);
+        for batch in per_node {
+            records.extend(batch?);
+        }
         Ok(FailureTrace::from_records(records))
     }
 

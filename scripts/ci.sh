@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI gate: build, full test suite, then prove the determinism contract
+# end-to-end by diffing repro output between a serial (HPCFAIL_THREADS=1)
+# and a parallel (HPCFAIL_THREADS=8) run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace (release)"
+cargo test --workspace --release -q
+
+echo "==> determinism suite, HPCFAIL_THREADS=1"
+HPCFAIL_THREADS=1 cargo test --release -q -p hpcfail --test parallel_determinism
+
+echo "==> determinism suite, HPCFAIL_THREADS=8"
+HPCFAIL_THREADS=8 cargo test --release -q -p hpcfail --test parallel_determinism
+
+echo "==> repro harness serial-vs-parallel diff"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+HPCFAIL_THREADS=1 cargo run --release -q -p hpcfail-bench --bin repro > "$tmpdir/repro_t1.txt"
+HPCFAIL_THREADS=8 cargo run --release -q -p hpcfail-bench --bin repro > "$tmpdir/repro_t8.txt"
+if ! diff -u "$tmpdir/repro_t1.txt" "$tmpdir/repro_t8.txt"; then
+    echo "FAIL: repro output differs between 1 and 8 workers" >&2
+    exit 1
+fi
+echo "OK: repro output byte-identical across worker counts"
+
+echo "==> ci.sh passed"

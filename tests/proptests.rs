@@ -373,3 +373,49 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Parallel executor determinism
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Any worker count produces the serial answer, for arbitrary input
+    /// lengths — the engine's core contract.
+    #[test]
+    fn executor_matches_serial_for_any_worker_count(
+        len in 0usize..300,
+        workers in 1usize..=16,
+        salt in 0u64..1_000,
+    ) {
+        use hpcfail::exec::derive_stream_seed;
+        let task = |i: usize| derive_stream_seed(salt, i as u64);
+        let serial: Vec<u64> = (0..len).map(task).collect();
+        let pool = ParallelExecutor::with_workers(workers);
+        prop_assert_eq!(pool.map_range(len, task), serial);
+    }
+
+    /// A panicking task surfaces as `ExecError::WorkerPanic` naming the
+    /// panicking index — never a hang, never a poisoned pool.
+    #[test]
+    fn executor_panic_is_an_error_not_a_hang(
+        len in 1usize..80,
+        workers in 1usize..=8,
+        victim_salt in 0usize..1_000,
+    ) {
+        use hpcfail::exec::ExecError;
+        let victim = victim_salt % len;
+        let pool = ParallelExecutor::with_workers(workers);
+        let result = pool.try_map_range(len, |i| {
+            if i == victim {
+                panic!("deliberate test panic");
+            }
+            i
+        });
+        let ExecError::WorkerPanic { index, message } =
+            result.expect_err("panicking task must error");
+        prop_assert_eq!(index, victim);
+        prop_assert!(message.contains("deliberate"));
+        // The same pool value remains usable afterwards.
+        prop_assert_eq!(pool.map_range(4, |i| i), vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Offline mini benchmark harness exposing the subset of the `criterion`
+//! API the workspace's benches use.
+//!
+//! Methodology (simplified from real criterion): each benchmark is warmed
+//! up once, then timed in batches whose size doubles until a batch takes
+//! at least [`MIN_BATCH`], and the per-iteration time of the best of
+//! [`SAMPLES`] batches is reported. No plotting, no statistics files —
+//! one line per benchmark on stdout, machine-grepable:
+//!
+//! ```text
+//! bench <group>/<name> ... 1234567 ns/iter (42 iters) [ 8.6e3 elem/s ]
+//! ```
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A batch must run at least this long before it is trusted.
+const MIN_BATCH: Duration = Duration::from_millis(40);
+
+/// Timed batches per benchmark; the fastest is reported.
+const SAMPLES: usize = 5;
+
+/// Benchmark identifier: an optional function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing collector handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    best_ns_per_iter: Option<f64>,
+    iters_used: u64,
+}
+
+impl Bencher {
+    /// Time `f`, adaptively choosing the batch size.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f()); // warm-up
+        let mut batch: u64 = 1;
+        let mut best: Option<f64> = None;
+        let mut samples = 0;
+        let mut total_iters = 0;
+        while samples < SAMPLES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            total_iters += batch;
+            if elapsed < MIN_BATCH && batch < 1 << 20 {
+                batch *= 2;
+                continue;
+            }
+            let per_iter = elapsed.as_secs_f64() * 1e9 / batch as f64;
+            best = Some(best.map_or(per_iter, |b: f64| b.min(per_iter)));
+            samples += 1;
+        }
+        self.best_ns_per_iter = best;
+        self.iters_used = total_iters;
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the adaptive batching ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration throughput, echoed in the report line.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let Some(ns) = bencher.best_ns_per_iter else {
+        println!("bench {label} ... no measurement (closure never called iter)");
+        return;
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!(" [ {:.3e} elem/s ]", n as f64 * 1e9 / ns),
+        Some(Throughput::Bytes(n)) => format!(" [ {:.3e} B/s ]", n as f64 * 1e9 / ns),
+        None => String::new(),
+    };
+    println!(
+        "bench {label} ... {:.0} ns/iter ({} iters){rate}",
+        ns, bencher.iters_used
+    );
+}
+
+/// Bundle benchmark functions into one runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups; ignores harness CLI flags.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

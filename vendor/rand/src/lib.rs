@@ -1,0 +1,287 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The hpcfail workspace is built in environments with no access to a
+//! crates.io registry, so this vendored crate provides the exact API
+//! surface the workspace uses — nothing more:
+//!
+//! - [`Rng`]: the object-safe core trait (`&mut dyn Rng` is a first-class
+//!   citizen; every distribution in `hpcfail-stats` samples through it).
+//! - [`RngExt`]: blanket extension trait carrying the generic helpers
+//!   `random`, `random_range` and `random_bool`.
+//! - [`SeedableRng`] and [`rngs::StdRng`]: a deterministic, seedable
+//!   generator (xoshiro256++ seeded via SplitMix64 expansion).
+//!
+//! Determinism is a hard contract for the whole workspace: for a given
+//! seed, `StdRng` must produce the identical stream on every platform and
+//! in every release. Do not change the algorithms here without updating
+//! every golden statistical regression test.
+
+/// The object-safe random-number-generator core: a source of `u64`s.
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes (little-endian `u64` blocks).
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be drawn uniformly from their "standard" range:
+/// `[0, 1)` for floats, the full domain for integers and `bool`.
+pub trait StandardSample {
+    /// Draw one value from `rng`.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges a uniform value can be drawn from (`low..high`, `low..=high`).
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Map a raw `u64` onto `[0, span)` by widening multiply (Lemire's
+/// method without the rejection step; bias is below 2⁻⁶⁴ · span which is
+/// negligible for the span sizes this workspace uses).
+#[inline]
+fn bounded(raw: u64, span: u64) -> u64 {
+    ((u128::from(raw) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(bounded(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(bounded(rng.next_u64(), span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let u = <$t as StandardSample>::from_rng(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// Generic convenience methods over any [`Rng`], including `dyn Rng`.
+pub trait RngExt: Rng {
+    /// Uniform draw of `T` from its standard range ([`StandardSample`]).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Uniform draw from a range.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Deterministically seedable generators.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Build a generator seeded from another generator's output.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::seed_from_u64(rng.next_u64())
+    }
+}
+
+/// SplitMix64 output function: a bijective avalanche mix of the state.
+#[inline]
+pub(crate) fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64_mix, Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++,
+    /// state expanded from the `u64` seed with SplitMix64.
+    ///
+    /// Not cryptographically secure — it exists for reproducible
+    /// simulation, which is exactly what this workspace needs.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                state = state.wrapping_add(GOLDEN);
+                *slot = splitmix64_mix(state);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ by Blackman & Vigna (public domain).
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias kept for compatibility with code written against the real
+    /// `rand` crate's small generator.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let k = rng.random_range(3usize..17);
+            assert!((3..17).contains(&k));
+            let k = rng.random_range(2u32..=5);
+            assert!((2..=5).contains(&k));
+            let x = rng.random_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn works_through_dyn_and_reborrow() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dynamic: &mut dyn Rng = &mut rng;
+        let _: f64 = dynamic.random();
+        let _ = dynamic.random_range(0usize..10);
+    }
+
+    #[test]
+    fn mean_of_unit_draws_is_centered() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

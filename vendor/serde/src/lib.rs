@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde as derive annotations on its data types
+//! (no serializer is ever instantiated — all I/O goes through the native
+//! CSV codecs in `hpcfail-records::io`). This stub keeps those
+//! annotations compiling in registry-less environments: the traits are
+//! blanket-implemented for every type and the derives are no-ops.
+//!
+//! If a future PR needs real serialization, route it through an explicit
+//! text codec (as `io.rs` does) or replace this stub wholesale.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
