@@ -1,0 +1,42 @@
+//! Quick component-level timing of the paper-set ranking pipeline, used
+//! to attribute time between the fits, the NLLs and the per-family KS
+//! distances when tuning the kernels.
+
+use hpcfail_stats::dist::{sample_n, Weibull};
+use hpcfail_stats::fit::Family;
+use hpcfail_stats::gof::ks_statistic_sorted;
+use hpcfail_stats::prepared::PreparedSample;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let n = 100_000;
+    let truth = Weibull::new(0.75, 86_400.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let data = sample_n(&truth, n, &mut rng);
+
+    let t = Instant::now();
+    let ps = PreparedSample::new(&data).unwrap();
+    println!("prepare       {:>10.3} ms", t.elapsed().as_secs_f64() * 1e3);
+
+    let t = Instant::now();
+    let sorted = ps.sorted().to_vec();
+    println!("sort          {:>10.3} ms", t.elapsed().as_secs_f64() * 1e3);
+
+    for family in Family::PAPER_SET {
+        let t = Instant::now();
+        let dist = family.fit_prepared(&ps).unwrap();
+        let fit_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let nll = dist.nll_prepared(&ps);
+        let nll_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let ks = ks_statistic_sorted(&sorted, dist.as_ref());
+        let ks_ms = t.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:<12} fit {fit_ms:>8.3} ms  nll {nll_ms:>8.3} ms  ks {ks_ms:>8.3} ms  (nll {nll:.1}, ks {ks:.4})",
+            family.name()
+        );
+    }
+}

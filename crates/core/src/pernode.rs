@@ -9,6 +9,7 @@
 use hpcfail_records::{Catalog, FailureTrace, NodeId, SystemId, Workload};
 use hpcfail_stats::dist::{Continuous, Discrete, LogNormal, NegativeBinomial, Normal, Poisson};
 use hpcfail_stats::ecdf::Ecdf;
+use hpcfail_stats::prepared::PreparedSample;
 
 use crate::error::AnalysisError;
 
@@ -153,8 +154,14 @@ pub fn analyze(
 pub fn fit_counts(counts: &[u64]) -> CountFits {
     let as_f: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
     let poisson_nll = Poisson::fit_mle(counts).ok().map(|d| d.nll(counts));
-    let normal_nll = Normal::fit_mle(&as_f).ok().map(|d| d.nll(&as_f));
-    let lognormal_nll = LogNormal::fit_mle(&as_f).ok().map(|d| d.nll(&as_f));
+    // One shared scan serves both continuous candidates.
+    let prepared = PreparedSample::from_vec(as_f).ok();
+    let normal_nll = prepared
+        .as_ref()
+        .and_then(|p| Normal::fit_prepared(p).ok().map(|d| d.nll_prepared(p)));
+    let lognormal_nll = prepared
+        .as_ref()
+        .and_then(|p| LogNormal::fit_prepared(p).ok().map(|d| d.nll_prepared(p)));
     let negative_binomial_nll = NegativeBinomial::fit_mle(counts)
         .ok()
         .map(|d| d.nll(counts));

@@ -8,7 +8,8 @@
 
 use hpcfail_records::{Catalog, FailureTrace, HardwareType, RootCause, SystemId};
 use hpcfail_stats::descriptive::{self, Summary};
-use hpcfail_stats::fit::{fit_paper_set, FitReport};
+use hpcfail_stats::fit::{fit_paper_set_prepared, FitReport};
+use hpcfail_stats::prepared::PreparedSample;
 
 use crate::error::AnalysisError;
 
@@ -86,7 +87,7 @@ pub fn by_cause(trace: &FailureTrace) -> Result<RepairByCause, AnalysisError> {
 /// Propagates fitting errors (empty/degenerate samples).
 pub fn fit_all_repairs(trace: &FailureTrace) -> Result<FitReport, AnalysisError> {
     let minutes = trace.downtimes_minutes();
-    Ok(fit_paper_set(&minutes)?)
+    Ok(fit_paper_set_prepared(&PreparedSample::from_vec(minutes)?)?)
 }
 
 /// Mean and median repair time for one system (Fig. 7(b)(c)).
@@ -184,7 +185,7 @@ pub fn fit_type_repairs(
         .filter(|r| ids.contains(&r.system()))
         .map(|r| r.downtime_minutes())
         .collect();
-    Ok(fit_paper_set(&minutes)?)
+    Ok(fit_paper_set_prepared(&PreparedSample::from_vec(minutes)?)?)
 }
 
 /// Result of [`type_effect`].

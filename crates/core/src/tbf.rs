@@ -15,7 +15,8 @@
 
 use hpcfail_records::{FailureTrace, NodeId, SystemId, Timestamp};
 use hpcfail_stats::descriptive;
-use hpcfail_stats::fit::{fit_paper_set, FitReport};
+use hpcfail_stats::fit::{fit_paper_set_prepared, FitReport};
+use hpcfail_stats::prepared::PreparedSample;
 use hpcfail_stats::hazard::{EmpiricalHazard, HazardTrend};
 
 use crate::error::AnalysisError;
@@ -121,11 +122,14 @@ pub fn analyze(
             got: positive.len(),
         });
     }
-    let fits = fit_paper_set(&positive)?;
-    let weibull_shape = hpcfail_stats::dist::Weibull::fit_mle(&positive)
+    // Prepare the positive gaps once; the paper-set fits, the standalone
+    // Weibull fit, and the descriptive summaries all share the one scan.
+    let positive = PreparedSample::from_vec(positive)?;
+    let fits = fit_paper_set_prepared(&positive)?;
+    let weibull_shape = hpcfail_stats::dist::Weibull::fit_prepared(&positive)
         .ok()
         .map(|w| w.shape());
-    let hazard_trend = EmpiricalHazard::from_durations(&positive, 8)
+    let hazard_trend = EmpiricalHazard::from_durations(positive.values(), 8)
         .map(|h| h.trend())
         .unwrap_or(HazardTrend::Flat);
     let gap_autocorrelation = hpcfail_stats::correlation::autocorrelation(&gaps, 1).ok();
@@ -133,8 +137,8 @@ pub fn analyze(
         view,
         n: gaps.len(),
         zero_fraction,
-        c2: descriptive::squared_cv(&positive),
-        mean_secs: descriptive::mean(&positive),
+        c2: descriptive::squared_cv(positive.values()),
+        mean_secs: descriptive::mean(positive.values()),
         fits,
         weibull_shape: weibull_shape.filter(|s| s.is_finite()),
         hazard_trend,

@@ -42,7 +42,10 @@ pub mod prelude {
     pub use hpcfail_stats::dist::{
         Continuous, Discrete, Exponential, Gamma, LogNormal, Normal, Pareto, Poisson, Weibull,
     };
-    pub use hpcfail_stats::fit::{fit_paper_set, Criterion, Family};
+    pub use hpcfail_stats::fit::{
+        fit_candidates_prepared, fit_paper_set, fit_paper_set_prepared, Criterion, Family,
+    };
+    pub use hpcfail_stats::prepared::PreparedSample;
     pub use hpcfail_stats::StatsError;
     pub use hpcfail_synth::{SynthError, TraceGenerator};
 }

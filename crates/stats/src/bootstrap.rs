@@ -4,9 +4,20 @@
 //! hence decreasing hazard" conclusion stable under resampling?
 
 use crate::error::StatsError;
+use crate::prepared::PreparedSample;
 use hpcfail_exec::{ParallelExecutor, SeedSequence};
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
+use std::cell::RefCell;
+
+thread_local! {
+    // Per-worker resample scratch reused across replicates, so the hot
+    // loop allocates only on a worker's first replicate (or when the
+    // sample size changes). Taken out of the cell while the statistic
+    // runs so a statistic that itself bootstraps cannot alias it.
+    static RESAMPLE_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    static PREPARED_SCRATCH: RefCell<Option<PreparedSample>> = const { RefCell::new(None) };
+}
 
 /// A two-sided percentile bootstrap confidence interval for an arbitrary
 /// statistic.
@@ -92,7 +103,7 @@ where
             iterations: replicates,
         });
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite stats"));
+    stats.sort_unstable_by(f64::total_cmp);
     let alpha = (1.0 - level) / 2.0;
     Ok(ConfidenceInterval {
         lo: crate::descriptive::quantile_sorted(&stats, alpha),
@@ -147,12 +158,99 @@ where
     let streams = SeedSequence::new(seed);
     let replicate_stats = executor.map_range(replicates, |r| {
         let mut rng = StdRng::seed_from_u64(streams.stream(r as u64));
-        let mut resample = vec![0.0f64; n];
-        for slot in resample.iter_mut() {
-            *slot = data[rng.random_range(0..n)];
-        }
-        statistic(&resample).filter(|s| s.is_finite())
+        RESAMPLE_SCRATCH.with(|cell| {
+            let mut resample = cell.take();
+            if resample.len() != n {
+                resample.resize(n, 0.0);
+            }
+            for slot in resample.iter_mut() {
+                *slot = data[rng.random_range(0..n)];
+            }
+            let stat = statistic(&resample).filter(|s| s.is_finite());
+            cell.replace(resample);
+            stat
+        })
     });
+    finish_percentile_ci(replicate_stats, replicates, point, level)
+}
+
+/// Deterministic, parallel percentile bootstrap over a
+/// [`PreparedSample`] statistic.
+///
+/// Identical resampling scheme to [`percentile_ci_parallel`] — the same
+/// seed draws the same replicate indices in the same order — but the
+/// statistic receives each resample as a `PreparedSample`, re-prepared in
+/// place in per-worker scratch ([`PreparedSample::refill_with`]), so
+/// fitting-based statistics reuse the cached sufficient statistics with
+/// zero per-replicate allocation. For statistics that compute the same
+/// quantity, the returned interval is bit-identical to the slice-based
+/// variant's.
+///
+/// # Errors
+///
+/// Same conditions as [`percentile_ci_parallel`].
+pub fn percentile_ci_parallel_prepared<F>(
+    sample: &PreparedSample,
+    statistic: F,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+    executor: &ParallelExecutor,
+) -> Result<ConfidenceInterval, StatsError>
+where
+    F: Fn(&PreparedSample) -> Option<f64> + Sync,
+{
+    if !(0.0..1.0).contains(&level) || level <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "level",
+            value: level,
+        });
+    }
+    if replicates == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "replicates",
+            value: 0.0,
+        });
+    }
+    let point = statistic(sample).ok_or(StatsError::DegenerateSample)?;
+    let data = sample.values();
+    let n = data.len();
+    let streams = SeedSequence::new(seed);
+    let replicate_stats = executor.map_range(replicates, |r| {
+        let mut rng = StdRng::seed_from_u64(streams.stream(r as u64));
+        PREPARED_SCRATCH.with(|cell| {
+            let mut slot = cell.take();
+            if let Some(scratch) = slot.as_mut() {
+                scratch
+                    .refill_with(n, |_| data[rng.random_range(0..n)])
+                    .expect("resample of a finite sample is finite");
+            } else {
+                let mut fresh = Vec::with_capacity(n);
+                for _ in 0..n {
+                    fresh.push(data[rng.random_range(0..n)]);
+                }
+                slot = Some(
+                    PreparedSample::from_vec(fresh)
+                        .expect("resample of a finite sample is finite"),
+                );
+            }
+            let stat = statistic(slot.as_ref().expect("scratch just filled"))
+                .filter(|s| s.is_finite());
+            cell.replace(slot);
+            stat
+        })
+    });
+    finish_percentile_ci(replicate_stats, replicates, point, level)
+}
+
+/// Shared tail of the parallel bootstraps: drop failed replicates, check
+/// the failure budget, sort and take the percentile interval.
+fn finish_percentile_ci(
+    replicate_stats: Vec<Option<f64>>,
+    replicates: usize,
+    point: f64,
+    level: f64,
+) -> Result<ConfidenceInterval, StatsError> {
     let mut stats: Vec<f64> = replicate_stats.into_iter().flatten().collect();
     if stats.len() < replicates / 2 {
         return Err(StatsError::NoConvergence {
@@ -160,7 +258,7 @@ where
             iterations: replicates,
         });
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite stats"));
+    stats.sort_unstable_by(f64::total_cmp);
     let alpha = (1.0 - level) / 2.0;
     Ok(ConfidenceInterval {
         lo: crate::descriptive::quantile_sorted(&stats, alpha),
@@ -290,6 +388,60 @@ mod tests {
         assert!(percentile_ci_parallel(&[], stat, 100, 0.95, 1, &pool).is_err());
         assert!(percentile_ci_parallel(&[1.0], stat, 0, 0.95, 1, &pool).is_err());
         assert!(percentile_ci_parallel(&[1.0], stat, 100, 1.5, 1, &pool).is_err());
+    }
+
+    #[test]
+    fn prepared_ci_matches_slice_ci_bitwise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let truth = Weibull::new(0.7, 120.0).unwrap();
+        let data = sample_n(&truth, 300, &mut rng);
+        let sample = PreparedSample::new(&data).unwrap();
+        for workers in [1, 4] {
+            let pool = ParallelExecutor::with_workers(workers);
+            let slice_ci =
+                percentile_ci_parallel(&data, |d| Some(mean(d)), 400, 0.95, 7, &pool).unwrap();
+            // `PreparedSample::mean` is Σx/n accumulated in draw order —
+            // the same arithmetic as `descriptive::mean` on the slice.
+            let prepared_ci = percentile_ci_parallel_prepared(
+                &sample,
+                |s| Some(s.mean()),
+                400,
+                0.95,
+                7,
+                &pool,
+            )
+            .unwrap();
+            assert_eq!(prepared_ci, slice_ci, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn prepared_ci_supports_fit_statistics() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let truth = Weibull::new(0.7, 3600.0).unwrap();
+        let data = sample_n(&truth, 800, &mut rng);
+        let sample = PreparedSample::new(&data).unwrap();
+        let pool = ParallelExecutor::with_workers(2);
+        let slice_ci = percentile_ci_parallel(
+            &data,
+            |d| Weibull::fit_mle(d).ok().map(|w| w.shape()),
+            200,
+            0.95,
+            99,
+            &pool,
+        )
+        .unwrap();
+        let prepared_ci = percentile_ci_parallel_prepared(
+            &sample,
+            |s| Weibull::fit_prepared(s).ok().map(|w| w.shape()),
+            200,
+            0.95,
+            99,
+            &pool,
+        )
+        .unwrap();
+        assert_eq!(prepared_ci, slice_ci);
+        assert!(prepared_ci.hi < 1.0, "shape CI must exclude 1");
     }
 
     #[test]

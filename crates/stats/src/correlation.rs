@@ -63,7 +63,7 @@ fn validate(x: &[f64], y: &[f64]) -> Result<(), StatsError> {
 /// Mid-ranks (1-based; ties get the average of their rank block).
 fn midranks(data: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..data.len()).collect();
-    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("finite"));
+    idx.sort_by(|&a, &b| data[a].total_cmp(&data[b]));
     let mut ranks = vec![0.0; data.len()];
     let mut i = 0;
     while i < idx.len() {

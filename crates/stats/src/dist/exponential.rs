@@ -66,6 +66,19 @@ impl Exponential {
         super::check_positive(data, "exponential")?;
         Self::from_mean(descriptive::mean(data))
     }
+
+    /// Maximum-likelihood fit off a [`crate::prepared::PreparedSample`]:
+    /// O(1), reads the cached `Σx`. The cached sum accumulates in original
+    /// data order, so the estimate is bit-identical to
+    /// [`Exponential::fit_mle`] on the same data.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Exponential::fit_mle`].
+    pub fn fit_prepared(sample: &crate::prepared::PreparedSample) -> Result<Self, StatsError> {
+        sample.check_positive("exponential")?;
+        Self::from_mean(sample.mean())
+    }
 }
 
 impl Continuous for Exponential {
@@ -128,6 +141,23 @@ impl Continuous for Exponential {
     fn sample(&self, rng: &mut dyn Rng) -> f64 {
         let u = unit_open(rng);
         -u.ln() / self.rate
+    }
+
+    fn nll(&self, data: &[f64]) -> f64 {
+        // `ln λ` is loop-invariant; hoisting it keeps each term's
+        // operation order identical to `ln_pdf`, so the sum matches the
+        // default implementation bit for bit.
+        let ln_rate = self.rate.ln();
+        -data
+            .iter()
+            .map(|&x| {
+                if x < 0.0 {
+                    f64::NEG_INFINITY
+                } else {
+                    ln_rate - self.rate * x
+                }
+            })
+            .sum::<f64>()
     }
 }
 

@@ -103,9 +103,32 @@ impl LogNormal {
     /// [`StatsError::DegenerateSample`] when all observations are equal.
     pub fn fit_mle(data: &[f64]) -> Result<Self, StatsError> {
         super::check_positive(data, "lognormal")?;
-        let n = data.len() as f64;
         let logs: Vec<f64> = data.iter().map(|x| x.ln()).collect();
-        let mu = logs.iter().sum::<f64>() / n;
+        let sum_log = logs.iter().sum::<f64>();
+        Self::from_logs(&logs, sum_log)
+    }
+
+    /// Maximum-likelihood fit off a [`crate::prepared::PreparedSample`]:
+    /// reads the cached `Σln x` and takes one allocation-free pass over
+    /// the cached `ln x` vector for the centered variance. (The
+    /// sufficient-statistic form `Σ(ln x)² − n·μ²` would be O(1) but
+    /// reorders the floating-point sum; the centered pass keeps the
+    /// result bit-identical to [`LogNormal::fit_mle`].)
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LogNormal::fit_mle`].
+    pub fn fit_prepared(sample: &crate::prepared::PreparedSample) -> Result<Self, StatsError> {
+        sample.check_positive("lognormal")?;
+        let logs = sample.logs().expect("positive sample caches logs");
+        let sum_log = sample.sum_log().expect("positive sample caches Σln x");
+        Self::from_logs(logs, sum_log)
+    }
+
+    /// Shared MLE core: `μ̂ = Σln x / n`, `σ̂² = Σ(ln x − μ̂)² / n`.
+    fn from_logs(logs: &[f64], sum_log: f64) -> Result<Self, StatsError> {
+        let n = logs.len() as f64;
+        let mu = sum_log / n;
         let var = logs.iter().map(|l| (l - mu) * (l - mu)).sum::<f64>() / n;
         if var <= 0.0 {
             return Err(StatsError::DegenerateSample);
@@ -175,6 +198,24 @@ impl Continuous for LogNormal {
     fn sample(&self, rng: &mut dyn Rng) -> f64 {
         let z = inverse_standard_normal_cdf(unit_open(rng));
         (self.mu + self.sigma * z).exp()
+    }
+
+    fn nll(&self, data: &[f64]) -> f64 {
+        // ln σ and the normalising constant are loop-invariant; hoisting
+        // them keeps the per-term operation order of `ln_pdf` intact, so
+        // the sum is bit-identical to the default implementation.
+        let ln_sigma = self.sigma.ln();
+        let half_ln_two_pi = 0.5 * (2.0 * std::f64::consts::PI).ln();
+        -data
+            .iter()
+            .map(|&x| {
+                if x <= 0.0 {
+                    return f64::NEG_INFINITY;
+                }
+                let z = (x.ln() - self.mu) / self.sigma;
+                -x.ln() - ln_sigma - half_ln_two_pi - 0.5 * z * z
+            })
+            .sum::<f64>()
     }
 }
 

@@ -95,6 +95,15 @@ pub trait Continuous: std::fmt::Debug + Send + Sync {
     fn nll(&self, data: &[f64]) -> f64 {
         -data.iter().map(|&x| self.ln_pdf(x)).sum::<f64>()
     }
+
+    /// Negative log-likelihood of a prepared sample. Iterates the
+    /// sample's original-order values, so the result is bit-identical to
+    /// `nll(sample.values())` — the prepared-sample path exists so
+    /// callers holding a [`crate::prepared::PreparedSample`] never touch
+    /// the raw slice APIs.
+    fn nll_prepared(&self, sample: &crate::prepared::PreparedSample) -> f64 {
+        self.nll(sample.values())
+    }
 }
 
 /// A discrete distribution over non-negative integers (used for the

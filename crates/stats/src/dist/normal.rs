@@ -64,6 +64,24 @@ impl Normal {
         }
         let n = data.len() as f64;
         let mean = data.iter().sum::<f64>() / n;
+        Self::from_mean_and_values(data, mean)
+    }
+
+    /// Maximum-likelihood fit off a [`crate::prepared::PreparedSample`]:
+    /// reads the cached `Σx` for the mean and takes one allocation-free
+    /// centered pass over the cached values for the variance, keeping
+    /// the result bit-identical to [`Normal::fit_mle`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Normal::fit_mle`].
+    pub fn fit_prepared(sample: &crate::prepared::PreparedSample) -> Result<Self, StatsError> {
+        Self::from_mean_and_values(sample.values(), sample.mean())
+    }
+
+    /// Shared MLE core: `σ̂² = Σ(x − μ̂)² / n` with the `n` denominator.
+    fn from_mean_and_values(data: &[f64], mean: f64) -> Result<Self, StatsError> {
+        let n = data.len() as f64;
         let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
         if var <= 0.0 {
             return Err(StatsError::DegenerateSample);
@@ -108,6 +126,21 @@ impl Continuous for Normal {
 
     fn sample(&self, rng: &mut dyn Rng) -> f64 {
         self.mean + self.std_dev * inverse_standard_normal_cdf(unit_open(rng))
+    }
+
+    fn nll(&self, data: &[f64]) -> f64 {
+        // Hoist the loop-invariant `ln σ` and normalising constant; the
+        // per-term operation order matches `ln_pdf`, so the sum is
+        // bit-identical to the default implementation.
+        let ln_sigma = self.std_dev.ln();
+        let half_ln_two_pi = 0.5 * (2.0 * std::f64::consts::PI).ln();
+        -data
+            .iter()
+            .map(|&x| {
+                let z = (x - self.mean) / self.std_dev;
+                -ln_sigma - half_ln_two_pi - 0.5 * z * z
+            })
+            .sum::<f64>()
     }
 }
 

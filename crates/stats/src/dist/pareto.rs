@@ -70,6 +70,24 @@ impl Pareto {
     pub fn fit_mle(data: &[f64]) -> Result<Self, StatsError> {
         super::check_positive(data, "pareto")?;
         let x_min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        Self::from_min_and_values(data, x_min)
+    }
+
+    /// Maximum-likelihood fit off a [`crate::prepared::PreparedSample`]:
+    /// reads the cached minimum and takes one allocation-free pass over
+    /// the cached values for the log-sum, keeping the result bit-identical
+    /// to [`Pareto::fit_mle`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pareto::fit_mle`].
+    pub fn fit_prepared(sample: &crate::prepared::PreparedSample) -> Result<Self, StatsError> {
+        sample.check_positive("pareto")?;
+        Self::from_min_and_values(sample.values(), sample.min())
+    }
+
+    /// Shared MLE core: `α̂ = n / Σ ln(xᵢ / x̂_m)`.
+    fn from_min_and_values(data: &[f64], x_min: f64) -> Result<Self, StatsError> {
         let log_sum: f64 = data.iter().map(|&x| (x / x_min).ln()).sum();
         if log_sum <= 0.0 {
             return Err(StatsError::DegenerateSample);

@@ -116,17 +116,50 @@ impl Weibull {
         // (repair times in seconds reach 1e6+).
         let logs: Vec<f64> = data.iter().map(|x| x.ln()).collect();
         let mean_log = logs.iter().sum::<f64>() / n;
+        let max_log = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self::solve_from_logs(&logs, mean_log, max_log, n)
+    }
 
+    /// Maximum-likelihood fit off a [`crate::prepared::PreparedSample`]:
+    /// borrows the cached `ln x` vector and sums instead of allocating
+    /// and re-scanning. Bit-identical to [`Weibull::fit_mle`] on the
+    /// same data.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Weibull::fit_mle`].
+    pub fn fit_prepared(sample: &crate::prepared::PreparedSample) -> Result<Self, StatsError> {
+        sample.check_positive("weibull")?;
+        if sample.is_degenerate() {
+            return Err(StatsError::DegenerateSample);
+        }
+        let logs = sample.logs().expect("positive sample caches logs");
+        let mean_log = sample.mean_log().expect("positive sample caches Σln x");
+        let max_log = sample.max_log().expect("positive sample caches max ln x");
+        Self::solve_from_logs(logs, mean_log, max_log, sample.len() as f64)
+    }
+
+    /// The shared shape-equation solver: Newton–Raphson with bisection
+    /// safeguard on `g(k) = Σ xᵢᵏ ln xᵢ / Σ xᵢᵏ − 1/k − mean(ln x)`.
+    ///
+    /// `max_log` must equal `logs.iter().fold(NEG_INFINITY, f64::max)`:
+    /// because multiplication by `k > 0` is monotone in IEEE arithmetic,
+    /// `max_i(k·lᵢ) = k·max_log` bitwise, which turns the per-evaluation
+    /// O(n) max fold of the pre-kernel implementation into an O(1) read
+    /// without changing a single bit of the weighted sums.
+    fn solve_from_logs(
+        logs: &[f64],
+        mean_log: f64,
+        max_log: f64,
+        n: f64,
+    ) -> Result<Self, StatsError> {
         // g(k) and g'(k) from stable weighted sums.
         let g_and_dg = |k: f64| -> (f64, f64) {
-            let max_term = logs
-                .iter()
-                .map(|&l| k * l)
-                .fold(f64::NEG_INFINITY, f64::max);
+            let max_term = k * max_log;
             let mut s0 = 0.0; // Σ e^{k lᵢ - M}
             let mut s1 = 0.0; // Σ lᵢ e^{k lᵢ - M}
             let mut s2 = 0.0; // Σ lᵢ² e^{k lᵢ - M}
-            for &l in &logs {
+            for &l in logs {
                 let w = (k * l - max_term).exp();
                 s0 += w;
                 s1 += l * w;
@@ -139,11 +172,13 @@ impl Weibull {
             (g, dg)
         };
 
-        // g is increasing in k; bracket a root.
+        // g is increasing in k; bracket a root. Each endpoint is
+        // evaluated exactly once and the value carried forward.
         let mut lo = 1e-3;
         let mut hi = 1.0;
         let mut expand = 0;
-        while g_and_dg(hi).0 < 0.0 {
+        let mut g_hi = g_and_dg(hi).0;
+        while g_hi < 0.0 {
             hi *= 2.0;
             expand += 1;
             if expand > 60 {
@@ -152,8 +187,10 @@ impl Weibull {
                     iterations: expand,
                 });
             }
+            g_hi = g_and_dg(hi).0;
         }
-        while g_and_dg(lo).0 > 0.0 {
+        let mut g_lo = g_and_dg(lo).0;
+        while g_lo > 0.0 {
             lo /= 2.0;
             expand += 1;
             if expand > 120 {
@@ -162,6 +199,7 @@ impl Weibull {
                     iterations: expand,
                 });
             }
+            g_lo = g_and_dg(lo).0;
         }
 
         // Newton with bisection safeguard.
@@ -197,10 +235,7 @@ impl Weibull {
         }
 
         // λ̂ = (Σ xᵢᵏ / n)^{1/k}, computed in log space.
-        let max_term = logs
-            .iter()
-            .map(|&l| k * l)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max_term = k * max_log;
         let s0: f64 = logs.iter().map(|&l| (k * l - max_term).exp()).sum();
         let ln_scale = (max_term + (s0 / n).ln()) / k;
         Weibull::new(k, ln_scale.exp())
@@ -284,6 +319,25 @@ impl Continuous for Weibull {
     fn sample(&self, rng: &mut dyn Rng) -> f64 {
         let u = unit_open(rng);
         self.scale * (-u.ln()).powf(1.0 / self.shape)
+    }
+
+    fn nll(&self, data: &[f64]) -> f64 {
+        // Hoisted loop-invariant parameter constants; each term keeps the
+        // default implementation's operation order, so the sum is
+        // bit-identical to `-Σ ln_pdf(x)`.
+        let c = self.shape.ln() - self.scale.ln();
+        let shape_m1 = self.shape - 1.0;
+        -data
+            .iter()
+            .map(|&x| {
+                if x > 0.0 {
+                    let z = x / self.scale;
+                    c + shape_m1 * z.ln() - z.powf(self.shape)
+                } else {
+                    self.ln_pdf(x)
+                }
+            })
+            .sum::<f64>()
     }
 }
 

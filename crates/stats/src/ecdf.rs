@@ -37,8 +37,43 @@ impl Ecdf {
             return Err(StatsError::NonFinite);
         }
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+        sorted.sort_unstable_by(f64::total_cmp);
         Ok(Ecdf { sorted })
+    }
+
+    /// Build an empirical CDF from data that is already sorted ascending,
+    /// skipping the `O(n log n)` sort — the entry point for callers that
+    /// hold a shared sorted view (e.g.
+    /// [`crate::prepared::PreparedSample::to_ecdf`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptySample`] if `sorted` is empty,
+    /// [`StatsError::NonFinite`] if it contains NaN/∞, and
+    /// [`StatsError::InvalidParameter`] (name `"sorted"`, value = the
+    /// first out-of-order element) if it is not ascending.
+    pub fn from_sorted(sorted: Vec<f64>) -> Result<Self, StatsError> {
+        if sorted.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if sorted.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::NonFinite);
+        }
+        if let Some(w) = sorted.windows(2).find(|w| w[0] > w[1]) {
+            return Err(StatsError::InvalidParameter {
+                name: "sorted",
+                value: w[1],
+            });
+        }
+        Ok(Ecdf { sorted })
+    }
+
+    /// Internal constructor for callers that guarantee `sorted` is a
+    /// non-empty ascending sequence of finite values.
+    pub(crate) fn from_sorted_unchecked(sorted: Vec<f64>) -> Self {
+        debug_assert!(!sorted.is_empty());
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        Ecdf { sorted }
     }
 
     /// `F̂(x)` = fraction of observations ≤ `x`.
@@ -130,6 +165,24 @@ mod tests {
         assert!(matches!(
             Ecdf::new(&[1.0, f64::NAN]),
             Err(StatsError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn from_sorted_matches_new_and_validates() {
+        let e = Ecdf::from_sorted(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(e, Ecdf::new(&[3.0, 1.0, 2.0]).unwrap());
+        assert!(matches!(
+            Ecdf::from_sorted(vec![]),
+            Err(StatsError::EmptySample)
+        ));
+        assert!(matches!(
+            Ecdf::from_sorted(vec![1.0, f64::NAN]),
+            Err(StatsError::NonFinite)
+        ));
+        assert!(matches!(
+            Ecdf::from_sorted(vec![2.0, 1.0]),
+            Err(StatsError::InvalidParameter { name: "sorted", .. })
         ));
     }
 

@@ -3,9 +3,9 @@
 //! log-likelihood, prefer the simplest adequate standard distribution.
 
 use crate::dist::{Continuous, Exponential, Gamma, LogNormal, Normal, Pareto, Weibull};
-use crate::ecdf::Ecdf;
 use crate::error::StatsError;
-use crate::gof::ks_statistic;
+use crate::gof::ks_statistic_sorted;
+use crate::prepared::PreparedSample;
 
 use serde::{Deserialize, Serialize};
 
@@ -85,6 +85,25 @@ impl Family {
             Family::LogNormal => Box::new(LogNormal::fit_mle(data)?),
             Family::Normal => Box::new(Normal::fit_mle(data)?),
             Family::Pareto => Box::new(Pareto::fit_mle(data)?),
+        })
+    }
+
+    /// Fit this family off a [`PreparedSample`]'s cached sufficient
+    /// statistics. Bit-identical to [`Family::fit`] on the same data, but
+    /// O(1) after preparation for the exponential and gamma and
+    /// allocation-free for every family.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Family::fit`].
+    pub fn fit_prepared(self, sample: &PreparedSample) -> Result<Box<dyn Continuous>, StatsError> {
+        Ok(match self {
+            Family::Exponential => Box::new(Exponential::fit_prepared(sample)?),
+            Family::Weibull => Box::new(Weibull::fit_prepared(sample)?),
+            Family::Gamma => Box::new(Gamma::fit_prepared(sample)?),
+            Family::LogNormal => Box::new(LogNormal::fit_prepared(sample)?),
+            Family::Normal => Box::new(Normal::fit_prepared(sample)?),
+            Family::Pareto => Box::new(Pareto::fit_prepared(sample)?),
         })
     }
 }
@@ -195,29 +214,42 @@ pub fn fit_candidates(
     families: &[Family],
     criterion: Criterion,
 ) -> Result<FitReport, StatsError> {
-    if data.is_empty() {
-        return Err(StatsError::EmptySample);
-    }
-    if data.iter().any(|x| !x.is_finite()) {
-        return Err(StatsError::NonFinite);
-    }
-    if data.len() < 2 {
+    let sample = PreparedSample::new(data)?;
+    fit_candidates_prepared(&sample, families, criterion)
+}
+
+/// [`fit_candidates`] off a [`PreparedSample`]: every family fits from the
+/// cached sufficient statistics, NLLs reuse the cached log transform, and
+/// all KS distances share the sample's single lazily-sorted view. Callers
+/// that fit the same data repeatedly (bootstrap, multi-criterion ranking)
+/// should prepare once and call this directly.
+///
+/// # Errors
+///
+/// [`StatsError::SampleTooSmall`] for fewer than 2 observations; otherwise
+/// per-family failures are recorded in [`FitReport::failures`].
+pub fn fit_candidates_prepared(
+    sample: &PreparedSample,
+    families: &[Family],
+    criterion: Criterion,
+) -> Result<FitReport, StatsError> {
+    if sample.len() < 2 {
         return Err(StatsError::SampleTooSmall {
             needed: 2,
-            got: data.len(),
+            got: sample.len(),
         });
     }
-    let ecdf = Ecdf::new(data)?;
+    let sorted = sample.sorted();
     let mut candidates = Vec::new();
     let mut failures = Vec::new();
     for &family in families {
-        match family.fit(data) {
+        match family.fit_prepared(sample) {
             Ok(dist) => {
-                let nll = dist.nll(data);
+                let nll = dist.nll_prepared(sample);
                 let k = family.param_count() as f64;
                 let aic = 2.0 * k + 2.0 * nll;
-                let bic = k * (data.len() as f64).ln() + 2.0 * nll;
-                let ks = ks_statistic(&ecdf, dist.as_ref());
+                let bic = k * (sample.len() as f64).ln() + 2.0 * nll;
+                let ks = ks_statistic_sorted(sorted, dist.as_ref());
                 candidates.push(FittedCandidate {
                     family,
                     dist,
@@ -235,16 +267,12 @@ pub fn fit_candidates(
         Criterion::Aic => c.aic,
         Criterion::KolmogorovSmirnov => c.ks,
     };
-    candidates.sort_by(|a, b| {
-        key(a)
-            .partial_cmp(&key(b))
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    candidates.sort_by(|a, b| key(a).total_cmp(&key(b)));
     Ok(FitReport {
         candidates,
         failures,
         criterion,
-        n: data.len(),
+        n: sample.len(),
     })
 }
 
@@ -255,6 +283,16 @@ pub fn fit_candidates(
 /// See [`fit_candidates`].
 pub fn fit_paper_set(data: &[f64]) -> Result<FitReport, StatsError> {
     fit_candidates(data, &Family::PAPER_SET, Criterion::NegLogLikelihood)
+}
+
+/// [`fit_paper_set`] off an already-prepared sample: exactly one sort and
+/// one log-transform pass serve all four families and their KS distances.
+///
+/// # Errors
+///
+/// See [`fit_candidates_prepared`].
+pub fn fit_paper_set_prepared(sample: &PreparedSample) -> Result<FitReport, StatsError> {
+    fit_candidates_prepared(sample, &Family::PAPER_SET, Criterion::NegLogLikelihood)
 }
 
 #[cfg(test)]

@@ -14,13 +14,65 @@ use crate::ecdf::Ecdf;
 /// function vs a continuous CDF must occur), checking both the
 /// left-limit and right-value of each step.
 pub fn ks_statistic(ecdf: &Ecdf, dist: &dyn Continuous) -> f64 {
-    let n = ecdf.len() as f64;
+    ks_statistic_sorted(ecdf.sorted_values(), dist)
+}
+
+/// [`ks_statistic`] evaluated directly on an ascending slice of sample
+/// values — lets callers with a shared sorted view (e.g.
+/// [`crate::prepared::PreparedSample::sorted`]) skip building an [`Ecdf`].
+///
+/// The supremum is located by branch-and-bound instead of a full scan:
+/// because `F` is non-decreasing, every candidate deviation at an index
+/// strictly between `i` and `j` is bounded by
+/// `max(j/n − F(x_i), F(x_j) − (i+1)/n)`, so whole runs of sample points
+/// whose bound cannot beat the running maximum are skipped without
+/// evaluating the model CDF. Intervals are refined breadth-first so the
+/// running maximum tightens quickly. Each surviving point contributes the
+/// same two candidate terms as a plain scan and `f64::max` is
+/// order-insensitive, so the result is identical to the exhaustive loop —
+/// only the number of CDF evaluations changes (typically a few hundred
+/// instead of `n`). A CDF that returns NaN defeats every bound test, which
+/// degrades gracefully to the exhaustive scan (NaN candidates are ignored
+/// by `f64::max`, as before).
+pub fn ks_statistic_sorted(sorted: &[f64], dist: &dyn Continuous) -> f64 {
+    let len = sorted.len();
+    let n = len as f64;
+    // Candidate deviation at sorted index i with model CDF value f:
+    // `upper` is step top vs model, `lower` is model vs step bottom.
+    let candidate = |i: usize, f: f64| {
+        let upper = (i as f64 + 1.0) / n - f;
+        let lower = f - i as f64 / n;
+        upper.abs().max(lower.abs())
+    };
     let mut d = 0.0f64;
-    for (i, &x) in ecdf.sorted_values().iter().enumerate() {
-        let f = dist.cdf(x);
-        let upper = (i as f64 + 1.0) / n - f; // step top vs model
-        let lower = f - i as f64 / n; // model vs step bottom
-        d = d.max(upper.abs()).max(lower.abs());
+    if len == 0 {
+        return d;
+    }
+    let f_first = dist.cdf(sorted[0]);
+    d = d.max(candidate(0, f_first));
+    if len == 1 {
+        return d;
+    }
+    let last = len - 1;
+    let f_last = dist.cdf(sorted[last]);
+    d = d.max(candidate(last, f_last));
+    // Breadth-first interval refinement: evaluate the midpoint, then keep
+    // only the halves whose interior bound still exceeds the running max.
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back((0usize, last, f_first, f_last));
+    while let Some((i, j, fi, fj)) = queue.pop_front() {
+        if j - i < 2 {
+            continue;
+        }
+        let bound = (j as f64 / n - fi).max(fj - (i as f64 + 1.0) / n);
+        if bound <= d {
+            continue;
+        }
+        let m = i + (j - i) / 2;
+        let fm = dist.cdf(sorted[m]);
+        d = d.max(candidate(m, fm));
+        queue.push_back((i, m, fi, fm));
+        queue.push_back((m, j, fm, fj));
     }
     d
 }
@@ -153,6 +205,45 @@ mod tests {
         let ecdf = Ecdf::new(&sample).unwrap();
         let ks = ks_statistic(&ecdf, &d);
         assert!(ks < 1.0 / n as f64 + 1e-9, "ks = {ks}");
+    }
+
+    /// The exhaustive reference scan the branch-and-bound search must match.
+    fn ks_exhaustive(sorted: &[f64], dist: &dyn Continuous) -> f64 {
+        let n = sorted.len() as f64;
+        let mut d = 0.0f64;
+        for (i, &x) in sorted.iter().enumerate() {
+            let f = dist.cdf(x);
+            let upper = (i as f64 + 1.0) / n - f;
+            let lower = f - i as f64 / n;
+            d = d.max(upper.abs()).max(lower.abs());
+        }
+        d
+    }
+
+    #[test]
+    fn pruned_ks_matches_exhaustive_scan_bitwise() {
+        use crate::dist::{Gamma, LogNormal};
+        let truth = Weibull::new(0.75, 86_400.0).unwrap();
+        for (seed, n) in [(1u64, 3usize), (2, 10), (7, 1_000), (42, 20_000)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut data = sample_n(&truth, n, &mut rng);
+            data.sort_unstable_by(f64::total_cmp);
+            let models: Vec<Box<dyn Continuous>> = vec![
+                Box::new(truth),
+                Box::new(Exponential::from_mean(truth.mean()).unwrap()),
+                Box::new(Gamma::new(0.8, 100_000.0).unwrap()),
+                Box::new(LogNormal::new(10.0, 1.5).unwrap()),
+            ];
+            for model in &models {
+                let pruned = ks_statistic_sorted(&data, model.as_ref());
+                let full = ks_exhaustive(&data, model.as_ref());
+                assert_eq!(
+                    pruned.to_bits(),
+                    full.to_bits(),
+                    "seed {seed} n {n}: pruned {pruned} != exhaustive {full}"
+                );
+            }
+        }
     }
 
     #[test]

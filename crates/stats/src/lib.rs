@@ -11,6 +11,9 @@
 //!   hazard rate, sampling and maximum-likelihood fitting;
 //! * [`fit`] — candidate fitting & ranking by negative log-likelihood /
 //!   AIC / Kolmogorov–Smirnov (the paper's Section-3 methodology);
+//! * [`prepared`] — one-pass sufficient-statistics kernels
+//!   ([`prepared::PreparedSample`]) that the fitting stack, GoF and
+//!   bootstrap share, so repeated fits never re-scan or re-sort;
 //! * [`ecdf`], [`histogram`], [`descriptive`] — empirical CDFs, binning,
 //!   and the mean / median / C² summaries the paper reports;
 //! * [`hazard`] — empirical hazard estimation and trend detection;
@@ -48,6 +51,7 @@ pub mod gof;
 pub mod hazard;
 pub mod histogram;
 pub mod mixture;
+pub mod prepared;
 pub mod special;
 pub mod survival;
 

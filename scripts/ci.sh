@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: build, full test suite, then prove the determinism contract
 # end-to-end by diffing repro output between a serial (HPCFAIL_THREADS=1)
-# and a parallel (HPCFAIL_THREADS=8) run.
+# and a parallel (HPCFAIL_THREADS=8) run, smoke-run the fit benchmark
+# suite, and check the recorded fit-bench numbers parse.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,5 +29,24 @@ if ! diff -u "$tmpdir/repro_t1.txt" "$tmpdir/repro_t8.txt"; then
     exit 1
 fi
 echo "OK: repro output byte-identical across worker counts"
+
+echo "==> fit benchmark suite smoke run (--test mode: each bench once, untimed)"
+cargo bench -q -p hpcfail-bench --bench fit_bench -- --test
+
+echo "==> recorded fit-bench numbers (experiments/BENCH_fit.json)"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+with open("experiments/BENCH_fit.json") as f:
+    doc = json.load(f)
+ratio = doc["groups"]["paper_set_rank"]["speedup_at_1e5"]["kernel_vs_legacy"]
+assert ratio >= 2.0, f"paper-set ranking speedup regressed below 2x: {ratio}"
+print(f"OK: BENCH_fit.json parses; recorded paper-set speedup at 1e5 = {ratio}x")
+EOF
+else
+    grep -q '"kernel_vs_legacy"' experiments/BENCH_fit.json
+    echo "OK: BENCH_fit.json present (python3 unavailable, skipped value check)"
+fi
+echo "    (re-record with: cargo bench -p hpcfail-bench --bench fit_bench)"
 
 echo "==> ci.sh passed"

@@ -286,6 +286,126 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Prepared-sample kernels: bit-identity with the slice paths
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Every family fitted through the cached sufficient statistics must
+    /// agree with the slice fitter to the last bit — parameters and NLL.
+    #[test]
+    fn prepared_fits_are_bit_identical_to_slice_fits(
+        data in prop::collection::vec(0.001f64..1e6, 2..120),
+    ) {
+        let ps = PreparedSample::new(&data).unwrap();
+        for family in Family::ALL {
+            let slice = family.fit(&data);
+            let prepared = family.fit_prepared(&ps);
+            match (slice, prepared) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+                    prop_assert_eq!(
+                        a.nll(&data).to_bits(),
+                        b.nll_prepared(&ps).to_bits()
+                    );
+                }
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+                }
+                (a, b) => prop_assert!(
+                    false, "{}: slice {:?} vs prepared {:?}", family, a, b
+                ),
+            }
+        }
+    }
+
+    /// Slice and prepared paths must also fail identically on data that
+    /// violates the positive-support precondition.
+    #[test]
+    fn prepared_fit_failures_match_slice_failures(
+        data in prop::collection::vec(-1e3f64..1e3, 2..60),
+    ) {
+        let ps = PreparedSample::new(&data).unwrap();
+        for family in Family::ALL {
+            let slice = family.fit(&data).map(|d| format!("{d:?}"));
+            let prepared = family.fit_prepared(&ps).map(|d| format!("{d:?}"));
+            prop_assert_eq!(format!("{:?}", slice), format!("{:?}", prepared));
+        }
+    }
+
+    /// The hand-optimized `nll` overrides (hoisted loop-invariant
+    /// constants) must reproduce the default `-Σ ln_pdf` sum exactly.
+    #[test]
+    fn nll_overrides_match_ln_pdf_sums(
+        data in prop::collection::vec(0.001f64..1e6, 2..120),
+    ) {
+        let ps = PreparedSample::new(&data).unwrap();
+        for family in Family::ALL {
+            if let Ok(d) = family.fit_prepared(&ps) {
+                let manual = -data.iter().map(|&x| d.ln_pdf(x)).sum::<f64>();
+                prop_assert_eq!(d.nll(&data).to_bits(), manual.to_bits());
+            }
+        }
+    }
+
+    /// The scratch-buffer bootstrap rewrite must reproduce the
+    /// pre-rewrite algorithm (fresh resample allocation per replicate)
+    /// bit for bit, and the prepared-statistic variant must agree.
+    #[test]
+    fn bootstrap_scratch_rewrite_preserves_cis(
+        data in prop::collection::vec(0.01f64..1e4, 5..60),
+        seed in 0u64..500,
+        workers in 1usize..=4,
+    ) {
+        use hpcfail::stats::bootstrap::{
+            percentile_ci_parallel, percentile_ci_parallel_prepared,
+        };
+        use hpcfail::stats::descriptive::{mean, quantile_sorted};
+        use rand::{RngExt, SeedableRng};
+        let replicates = 64;
+        let level = 0.9;
+        let pool = ParallelExecutor::with_workers(workers);
+        let ci = percentile_ci_parallel(
+            &data, |d| Some(mean(d)), replicates, level, seed, &pool,
+        ).unwrap();
+        // Reference: the original hot loop, reallocating every replicate.
+        let streams = SeedSequence::new(seed);
+        let n = data.len();
+        let mut stats: Vec<f64> = (0..replicates)
+            .filter_map(|r| {
+                let mut rng =
+                    rand::rngs::StdRng::seed_from_u64(streams.stream(r as u64));
+                let resample: Vec<f64> =
+                    (0..n).map(|_| data[rng.random_range(0..n)]).collect();
+                Some(mean(&resample)).filter(|s| s.is_finite())
+            })
+            .collect();
+        stats.sort_unstable_by(f64::total_cmp);
+        let alpha = (1.0 - level) / 2.0;
+        prop_assert_eq!(ci.point.to_bits(), mean(&data).to_bits());
+        prop_assert_eq!(ci.lo.to_bits(), quantile_sorted(&stats, alpha).to_bits());
+        prop_assert_eq!(ci.hi.to_bits(), quantile_sorted(&stats, 1.0 - alpha).to_bits());
+        // Prepared-statistic variant: same streams, same draws, same CI.
+        let ps = PreparedSample::new(&data).unwrap();
+        let prepared = percentile_ci_parallel_prepared(
+            &ps, |s| Some(s.mean()), replicates, level, seed, &pool,
+        ).unwrap();
+        prop_assert_eq!(prepared, ci);
+    }
+
+    /// The shared sorted view agrees with a freshly built ECDF.
+    #[test]
+    fn prepared_sorted_view_matches_ecdf(
+        data in prop::collection::vec(-1e6f64..1e6, 1..200),
+    ) {
+        let ps = PreparedSample::new(&data).unwrap();
+        let ecdf = hpcfail::stats::ecdf::Ecdf::new(&data).unwrap();
+        prop_assert_eq!(ps.sorted(), ecdf.sorted_values());
+        let from_view = ps.to_ecdf();
+        prop_assert_eq!(from_view.sorted_values(), ecdf.sorted_values());
+    }
+}
+
+// ---------------------------------------------------------------------
 // Simulator conservation laws
 // ---------------------------------------------------------------------
 

@@ -11,10 +11,23 @@
 //! bench <group>/<name> ... 1234567 ns/iter (42 iters) [ 8.6e3 elem/s ]
 //! ```
 
+//! Passing `--test` (as `cargo bench -- --test`, matching real criterion)
+//! runs every benchmark closure exactly once as a smoke test and reports
+//! `ok (test mode)` instead of a timing — CI uses this to prove the
+//! benches still compile and run without paying for measurements.
+
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// True when the harness was invoked with `--test`: run each benchmark
+/// once, skip timing.
+fn test_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// A batch must run at least this long before it is trusted.
 const MIN_BATCH: Duration = Duration::from_millis(40);
@@ -75,6 +88,11 @@ pub struct Bencher {
 impl Bencher {
     /// Time `f`, adaptively choosing the batch size.
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if test_mode() {
+            black_box(f());
+            self.iters_used = 1;
+            return;
+        }
         black_box(f()); // warm-up
         let mut batch: u64 = 1;
         let mut best: Option<f64> = None;
@@ -174,6 +192,10 @@ impl BenchmarkGroup<'_> {
 fn run_one(label: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
     let mut bencher = Bencher::default();
     f(&mut bencher);
+    if test_mode() {
+        println!("bench {label} ... ok (test mode)");
+        return;
+    }
     let Some(ns) = bencher.best_ns_per_iter else {
         println!("bench {label} ... no measurement (closure never called iter)");
         return;
@@ -200,7 +222,8 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emit `main` running the given groups; ignores harness CLI flags.
+/// Emit `main` running the given groups; the only harness CLI flag
+/// honored is `--test` (smoke mode), everything else is ignored.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
