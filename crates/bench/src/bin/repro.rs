@@ -13,13 +13,15 @@ use hpcfail_core::{
     availability, daily, findings, lifetime, periodic, pernode, rates, related, repair, rootcause,
     tbf, workload,
 };
-use hpcfail_records::{Catalog, FailureTrace, HardwareType, NodeId, RootCause, SystemId};
+use hpcfail_records::{Catalog, FailureTrace, HardwareType, NodeId, RootCause, SystemId, TraceIndex};
 use hpcfail_synth::scenario;
 
 const SEED: u64 = scenario::DEFAULT_SEED;
 
-/// An experiment entry: name plus the function that renders it.
-type Experiment = (&'static str, fn(&Ctx));
+/// An experiment entry: name plus the function that renders it. Every
+/// experiment receives the site trace's query index, built once in
+/// `main`, and fans its analyses off borrowed views.
+type Experiment = (&'static str, fn(&Ctx, &TraceIndex<'_>));
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,11 +66,12 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create csv directory");
     }
     let ctx = ctx;
+    let site_index = ctx.site.index();
     let mut ran = 0;
     for (name, f) in experiments {
         if wanted.is_empty() || wanted.contains(name) {
             println!("\n================= {name} =================");
-            f(&ctx);
+            f(&ctx, &site_index);
             ran += 1;
         }
     }
@@ -112,7 +115,7 @@ impl Ctx {
 
 /// Table 1: overview of the 22 systems, with node-category detail
 /// (procs/node, memory, NICs) as in the right half of the paper's table.
-fn table1(ctx: &Ctx) {
+fn table1(ctx: &Ctx, _idx: &TraceIndex<'_>) {
     let mut t = TextTable::new(&[
         "id",
         "hw",
@@ -170,8 +173,8 @@ fn table1(ctx: &Ctx) {
 }
 
 /// Fig 1(a)(b): root-cause breakdown of failures and downtime.
-fn fig1(ctx: &Ctx) {
-    let analysis = rootcause::analyze(&ctx.site, &ctx.catalog);
+fn fig1(ctx: &Ctx, idx: &TraceIndex<'_>) {
+    let analysis = rootcause::analyze_indexed(idx, &ctx.catalog);
     for (label, by_downtime) in [("(a) % of failures", false), ("(b) % of downtime", true)] {
         println!("--- Fig 1{label} ---");
         let mut t = TextTable::new(&["type", "hw", "sw", "net", "env", "human", "unk"]);
@@ -209,8 +212,8 @@ fn fig1(ctx: &Ctx) {
 }
 
 /// Fig 2(a)(b): failure rates per system, raw and per processor.
-fn fig2(ctx: &Ctx) {
-    let analysis = rates::analyze(&ctx.site, &ctx.catalog).expect("rates");
+fn fig2(ctx: &Ctx, idx: &TraceIndex<'_>) {
+    let analysis = rates::analyze_indexed(idx, &ctx.catalog).expect("rates");
     let max_rate = analysis.per_year_range().1;
     let mut t = TextTable::new(&["sys", "hw", "fail/yr", "(a)", "fail/yr/proc", "(b)"]);
     for r in &analysis.rates {
@@ -247,9 +250,9 @@ fn fig2(ctx: &Ctx) {
 }
 
 /// Fig 3(a)(b): failures per node of system 20 and the count CDF fits.
-fn fig3(ctx: &Ctx) {
+fn fig3(ctx: &Ctx, idx: &TraceIndex<'_>) {
     let sys = SystemId::new(20);
-    let analysis = pernode::analyze(&ctx.site, &ctx.catalog, sys).expect("per-node");
+    let analysis = pernode::analyze_indexed(idx, &ctx.catalog, sys).expect("per-node");
     println!("--- Fig 3(a): failures per node, system 20 ---");
     let max = *analysis.counts.iter().max().unwrap_or(&1) as f64;
     for (n, &c) in analysis.counts.iter().enumerate() {
@@ -295,13 +298,13 @@ fn fig3(ctx: &Ctx) {
 }
 
 /// Fig 4(a)(b): failures per month over system lifetime.
-fn fig4(ctx: &Ctx) {
+fn fig4(ctx: &Ctx, idx: &TraceIndex<'_>) {
     for (label, sys) in [
         ("(a) system 5, type E", 5u32),
         ("(b) system 19, type G", 19),
     ] {
         let spec = ctx.catalog.system(SystemId::new(sys)).unwrap();
-        let curve = lifetime::analyze(&ctx.site, spec).expect("curve");
+        let curve = lifetime::analyze_indexed(idx, spec).expect("curve");
         println!("--- Fig 4{label}: failures/month vs age ---");
         let totals = curve.monthly_totals();
         let max = *totals.iter().max().unwrap_or(&1) as f64;
@@ -327,7 +330,7 @@ fn fig4(ctx: &Ctx) {
 }
 
 /// Fig 5: failures by hour of day and day of week.
-fn fig5(ctx: &Ctx) {
+fn fig5(ctx: &Ctx, _idx: &TraceIndex<'_>) {
     let p = periodic::analyze(&ctx.site).expect("pattern");
     println!("--- failures by hour of day ---");
     let max = *p.hourly.iter().max().unwrap() as f64;
@@ -368,9 +371,8 @@ fn fig5(ctx: &Ctx) {
 }
 
 /// Fig 6: time between failures, node and system views, early and late.
-fn fig6(ctx: &Ctx) {
+fn fig6(ctx: &Ctx, idx: &TraceIndex<'_>) {
     let sys = SystemId::new(20);
-    let trace = ctx.site.filter_system(sys);
     let (early, late) = tbf::paper_era_split();
     let cases = [
         (
@@ -394,11 +396,11 @@ fn fig6(ctx: &Ctx) {
             late,
         ),
     ];
-    if let Some((peak, at)) = hpcfail_records::intervals::peak_concurrent_outages(&trace, sys) {
+    if let Some((peak, at)) = hpcfail_records::intervals::peak_concurrent_outages(&ctx.site, sys) {
         println!("peak concurrent node outages: {peak} (at {at})");
     }
     for (label, view, window) in cases {
-        match tbf::analyze(&trace, view, Some(window)) {
+        match tbf::analyze_indexed(idx, view, Some(window)) {
             Ok(a) => {
                 println!("--- Fig 6{label} ---");
                 println!(
@@ -423,8 +425,8 @@ fn fig6(ctx: &Ctx) {
                     println!("    >30% simultaneous failures: no standard distribution fits");
                 }
                 // CDF points for external plotting (log-spaced like the
-                // paper's x-axes).
-                let windowed = trace.filter_window(window.0, window.1);
+                // paper's x-axes) — borrowed views, no trace clones.
+                let windowed = idx.system(sys).window(window.0, window.1);
                 let gaps: Vec<f64> = match view {
                     tbf::View::Node(s, n) => windowed
                         .filter_node(s, n)
@@ -457,8 +459,8 @@ fn fig6(ctx: &Ctx) {
 }
 
 /// Table 2: repair-time statistics by root cause (minutes).
-fn table2(ctx: &Ctx) {
-    let table = repair::by_cause(&ctx.site).expect("table 2");
+fn table2(_ctx: &Ctx, idx: &TraceIndex<'_>) {
+    let table = repair::by_cause_indexed(idx).expect("table 2");
     let mut t = TextTable::new(&["", "Unkn.", "Hum.", "Env.", "Netw.", "SW", "HW", "All"]);
     let order = [
         RootCause::Unknown,
@@ -501,9 +503,9 @@ fn table2(ctx: &Ctx) {
 }
 
 /// Fig 7: repair-time distribution and per-system means/medians.
-fn fig7(ctx: &Ctx) {
+fn fig7(ctx: &Ctx, idx: &TraceIndex<'_>) {
     println!("--- Fig 7(a): repair-time fits (all records) ---");
-    let report = repair::fit_all_repairs(&ctx.site).expect("fits");
+    let report = repair::fit_all_repairs_indexed(idx).expect("fits");
     for c in &report.candidates {
         println!(
             "  fit {:<12} NLL {:.0}  KS {:.3}",
@@ -518,7 +520,7 @@ fn fig7(ctx: &Ctx) {
     );
 
     println!("\n--- Fig 7(b)(c): mean and median repair time per system ---");
-    let rows = repair::by_system(&ctx.site, &ctx.catalog);
+    let rows = repair::by_system_indexed(idx, &ctx.catalog);
     let max_mean = rows.iter().map(|r| r.mean_minutes).fold(0.0, f64::max);
     let mut t = TextTable::new(&["sys", "hw", "mean (min)", "(b)", "median (min)", "(c)"]);
     for r in &rows {
@@ -550,7 +552,7 @@ fn fig7(ctx: &Ctx) {
 }
 
 /// Table 3: related studies.
-fn table3(_ctx: &Ctx) {
+fn table3(_ctx: &Ctx, _idx: &TraceIndex<'_>) {
     let mut t = TextTable::new(&["study", "date", "length", "environment", "#failures"]);
     for s in related::table3() {
         t.row(&[
@@ -569,8 +571,8 @@ fn table3(_ctx: &Ctx) {
 }
 
 /// Derived: per-system availability.
-fn availability_report(ctx: &Ctx) {
-    let rows = availability::analyze(&ctx.site, &ctx.catalog).expect("availability");
+fn availability_report(ctx: &Ctx, idx: &TraceIndex<'_>) {
+    let rows = availability::analyze_indexed(idx, &ctx.catalog).expect("availability");
     let mut t = TextTable::new(&["sys", "hw", "downtime (node-h)", "availability", "nines"]);
     for r in rows.iter().filter(|r| r.downtime_node_hours > 0.0) {
         t.row(&[
@@ -582,13 +584,13 @@ fn availability_report(ctx: &Ctx) {
         ]);
     }
     println!("{}", t.render());
-    let site = availability::site_availability(&ctx.site, &ctx.catalog).expect("site");
+    let site = availability::site_availability_indexed(idx, &ctx.catalog).expect("site");
     println!("site-wide availability: {:.4}%", site * 100.0);
 }
 
 /// Section 5.1: failure rates by workload class.
-fn workload_report(ctx: &Ctx) {
-    let a = workload::analyze(&ctx.site, &ctx.catalog).expect("workload rates");
+fn workload_report(ctx: &Ctx, idx: &TraceIndex<'_>) {
+    let a = workload::analyze_indexed(idx, &ctx.catalog).expect("workload rates");
     let mut t = TextTable::new(&[
         "workload",
         "failures",
@@ -606,8 +608,8 @@ fn workload_report(ctx: &Ctx) {
         ]);
     }
     println!("{}", t.render());
-    let graphics = workload::within_system_multipliers(
-        &ctx.site,
+    let graphics = workload::within_system_multipliers_indexed(
+        idx,
         &ctx.catalog,
         hpcfail_records::Workload::Graphics,
     );
@@ -621,7 +623,7 @@ fn workload_report(ctx: &Ctx) {
 }
 
 /// Derived: burstiness of daily failure counts.
-fn daily_report(ctx: &Ctx) {
+fn daily_report(ctx: &Ctx, _idx: &TraceIndex<'_>) {
     let a = daily::analyze(&ctx.site).expect("daily counts");
     println!(
         "days {}; mean {:.2} failures/day; dispersion index {:.2} (Poisson = 1); \
@@ -650,8 +652,8 @@ fn daily_report(ctx: &Ctx) {
 }
 
 /// The Section-8 conclusions, checked programmatically.
-fn findings_report(ctx: &Ctx) {
-    let result = findings::evaluate(&ctx.site, &ctx.catalog).expect("findings");
+fn findings_report(ctx: &Ctx, idx: &TraceIndex<'_>) {
+    let result = findings::evaluate_indexed(idx, &ctx.catalog).expect("findings");
     let mut t = TextTable::new(&["holds", "finding", "evidence"]);
     for f in &result.findings {
         t.row(&[if f.holds { "yes" } else { "NO" }, f.claim, &f.evidence]);
@@ -664,7 +666,7 @@ fn findings_report(ctx: &Ctx) {
 }
 
 /// Extension: the checkpoint-strategy study (see hpcfail-checkpoint).
-fn checkpoint_study(_ctx: &Ctx) {
+fn checkpoint_study(_ctx: &Ctx, _idx: &TraceIndex<'_>) {
     use hpcfail_checkpoint::study::{run_study, StudyConfig};
     let config = StudyConfig::default_study();
     println!("60-day job, 5-min checkpoints, 4-day MTBF, mean repair 1 h; waste fractions:");
@@ -722,15 +724,14 @@ fn checkpoint_study(_ctx: &Ctx) {
 }
 
 /// Extension: the reliability-aware scheduling study (see hpcfail-sched).
-fn sched_study(ctx: &Ctx) {
-    use hpcfail_sched::cluster::profiles_from_trace;
+fn sched_study(ctx: &Ctx, idx: &TraceIndex<'_>) {
+    use hpcfail_sched::cluster::profiles_from_index;
     use hpcfail_sched::policy::{LeastFailureRate, LongestUptime, Policy, RandomPlacement};
     use hpcfail_sched::sim::{run_with_prior, Job, NodeTruth, SimConfig};
 
     let sys = SystemId::new(20);
     let spec = ctx.catalog.system(sys).unwrap();
-    let profiles =
-        profiles_from_trace(&ctx.site, sys, spec.nodes(), spec.production_years()).unwrap();
+    let profiles = profiles_from_index(idx, sys, spec.nodes(), spec.production_years()).unwrap();
     let nodes: Vec<NodeTruth> = profiles
         .iter()
         .map(|p| NodeTruth {

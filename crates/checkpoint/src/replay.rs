@@ -4,7 +4,7 @@
 //! "had we run this job on node X starting at time T with interval τ,
 //! what would have happened?"
 
-use hpcfail_records::{FailureTrace, NodeId, SystemId, Timestamp};
+use hpcfail_records::{FailureTrace, NodeId, SystemId, Timestamp, TraceIndex};
 
 use crate::error::CheckpointError;
 use crate::sim::{JobConfig, SimOutcome};
@@ -18,10 +18,23 @@ pub struct NodeTimeline {
 }
 
 impl NodeTimeline {
-    /// Extract a node's timeline from a trace.
+    /// Extract a node's timeline from a trace (one filtered pass, no
+    /// intermediate trace clone).
     pub fn from_trace(trace: &FailureTrace, system: SystemId, node: NodeId) -> Self {
         let events = trace
-            .filter_node(system, node)
+            .iter()
+            .filter(|r| r.system() == system && r.node() == node)
+            .map(|r| (r.start().as_secs(), r.end().as_secs()))
+            .collect();
+        NodeTimeline { events }
+    }
+
+    /// [`NodeTimeline::from_trace`] off a prebuilt [`TraceIndex`] — the
+    /// node's records are one contiguous run slice, so replaying every
+    /// node of a system touches each record exactly once overall.
+    pub fn from_index(index: &TraceIndex<'_>, system: SystemId, node: NodeId) -> Self {
+        let events = index
+            .node(system, node)
             .iter()
             .map(|r| (r.start().as_secs(), r.end().as_secs()))
             .collect();

@@ -3,7 +3,7 @@
 //! combining the failure-rate view (Fig. 2) with the repair-time view
 //! (Fig. 7).
 
-use hpcfail_records::{Catalog, FailureTrace, HardwareType, SystemId};
+use hpcfail_records::{Catalog, FailureTrace, HardwareType, SystemId, TraceIndex};
 
 use crate::error::AnalysisError;
 
@@ -34,17 +34,28 @@ pub fn analyze(
     trace: &FailureTrace,
     catalog: &Catalog,
 ) -> Result<Vec<SystemAvailability>, AnalysisError> {
-    if trace.is_empty() {
+    analyze_indexed(&trace.index(), catalog)
+}
+
+/// [`analyze`] off a prebuilt [`TraceIndex`]: per-system downtime comes
+/// from the single-pass `downtime_by_system` kernel over the columnar
+/// shadow arrays (u64 sums, so accumulation order is immaterial).
+///
+/// # Errors
+///
+/// Same as [`analyze`].
+pub fn analyze_indexed(
+    index: &TraceIndex<'_>,
+    catalog: &Catalog,
+) -> Result<Vec<SystemAvailability>, AnalysisError> {
+    if index.is_empty() {
         return Err(AnalysisError::InsufficientData {
             what: "availability",
             needed: 1,
             got: 0,
         });
     }
-    let mut downtime_secs = std::collections::BTreeMap::new();
-    for r in trace.iter() {
-        *downtime_secs.entry(r.system()).or_insert(0u64) += r.downtime_secs();
-    }
+    let downtime_secs = index.all().downtime_by_system();
     Ok(catalog
         .systems()
         .iter()
@@ -76,7 +87,19 @@ pub fn analyze(
 ///
 /// See [`analyze`].
 pub fn site_availability(trace: &FailureTrace, catalog: &Catalog) -> Result<f64, AnalysisError> {
-    let rows = analyze(trace, catalog)?;
+    site_availability_indexed(&trace.index(), catalog)
+}
+
+/// [`site_availability`] off a prebuilt [`TraceIndex`].
+///
+/// # Errors
+///
+/// See [`analyze`].
+pub fn site_availability_indexed(
+    index: &TraceIndex<'_>,
+    catalog: &Catalog,
+) -> Result<f64, AnalysisError> {
+    let rows = analyze_indexed(index, catalog)?;
     let down: f64 = rows.iter().map(|r| r.downtime_node_hours).sum();
     let cap: f64 = rows.iter().map(|r| r.capacity_node_hours).sum();
     Ok(1.0 - down / cap)

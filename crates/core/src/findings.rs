@@ -5,7 +5,7 @@
 //! attached — the one-call acceptance check for any trace (synthetic or
 //! a real ingested log).
 
-use hpcfail_records::{Catalog, FailureTrace, RootCause, SystemId};
+use hpcfail_records::{Catalog, FailureTrace, RootCause, SystemId, TraceIndex};
 use hpcfail_stats::fit::Family;
 
 use crate::error::AnalysisError;
@@ -54,10 +54,21 @@ impl Findings {
 /// Propagates failures of the rate/repair/periodic analyses (e.g. an
 /// empty trace).
 pub fn evaluate(trace: &FailureTrace, catalog: &Catalog) -> Result<Findings, AnalysisError> {
+    evaluate_indexed(&trace.index(), catalog)
+}
+
+/// [`evaluate`] off a prebuilt [`TraceIndex`]: one index serves every
+/// sub-analysis instead of each building (or scanning) its own.
+///
+/// # Errors
+///
+/// Same as [`evaluate`].
+pub fn evaluate_indexed(index: &TraceIndex<'_>, catalog: &Catalog) -> Result<Findings, AnalysisError> {
+    let trace = index.trace();
     let mut findings = Vec::new();
 
     // "Failure rates vary widely across systems, 20 to >1000 per year."
-    let rate_analysis = rates::analyze(trace, catalog)?;
+    let rate_analysis = rates::analyze_indexed(index, catalog)?;
     let (min, max) = rate_analysis.per_year_range();
     findings.push(Finding {
         id: "rate-range",
@@ -90,7 +101,7 @@ pub fn evaluate(trace: &FailureTrace, catalog: &Catalog) -> Result<Findings, Ana
     // "TBF not exponential; Weibull/gamma with decreasing hazard."
     let sys20 = SystemId::new(20);
     let (_, late) = tbf::paper_era_split();
-    let tbf_finding = match tbf::analyze(trace, tbf::View::SystemWide(sys20), Some(late)) {
+    let tbf_finding = match tbf::analyze_indexed(index, tbf::View::SystemWide(sys20), Some(late)) {
         Ok(a) => {
             let best = a.fits.best().map(|c| c.family);
             let weibull_like = best == Some(Family::Weibull) || best == Some(Family::Gamma);
@@ -116,7 +127,7 @@ pub fn evaluate(trace: &FailureTrace, catalog: &Catalog) -> Result<Findings, Ana
     findings.push(tbf_finding);
 
     // "Mean repair times vary widely across systems, driven by type."
-    let per_system = repair::by_system(trace, catalog);
+    let per_system = repair::by_system_indexed(index, catalog);
     let effect = repair::type_effect(&per_system);
     findings.push(Finding {
         id: "repair-type-effect",
@@ -131,9 +142,9 @@ pub fn evaluate(trace: &FailureTrace, catalog: &Catalog) -> Result<Findings, Ana
     });
 
     // "Repair times lognormal, extremely variable."
-    let fit = repair::fit_all_repairs(trace)?;
+    let fit = repair::fit_all_repairs_indexed(index)?;
     let lognormal_best = fit.best().map(|c| c.family) == Some(Family::LogNormal);
-    let table = repair::by_cause(trace)?;
+    let table = repair::by_cause_indexed(index)?;
     findings.push(Finding {
         id: "lognormal-repair",
         claim: "repair times are better modeled by a lognormal than an exponential \
@@ -147,7 +158,7 @@ pub fn evaluate(trace: &FailureTrace, catalog: &Catalog) -> Result<Findings, Ana
     });
 
     // "Hardware and software are the largest contributors."
-    let breakdown = rootcause::CauseBreakdown::from_trace(trace);
+    let breakdown = rootcause::CauseBreakdown::from_view(&index.all());
     let hw = breakdown.fraction_of_failures(RootCause::Hardware);
     let sw = breakdown.fraction_of_failures(RootCause::Software);
     findings.push(Finding {

@@ -5,7 +5,7 @@
 //! decay (type D/G, Fig. 4(b)). This module builds the monthly,
 //! cause-stacked failure curve and classifies its shape.
 
-use hpcfail_records::{FailureTrace, RootCause, SystemSpec};
+use hpcfail_records::{FailureTrace, RootCause, SystemSpec, TraceIndex};
 
 use crate::error::AnalysisError;
 
@@ -112,7 +112,20 @@ fn moving_average(series: &[u64], half: usize) -> Vec<f64> {
 /// [`AnalysisError::InsufficientData`] if the system contributed fewer
 /// than 10 failures (too little to classify a shape).
 pub fn analyze(trace: &FailureTrace, spec: &SystemSpec) -> Result<LifetimeCurve, AnalysisError> {
-    let system_trace = trace.filter_system(spec.id());
+    analyze_indexed(&trace.index(), spec)
+}
+
+/// [`analyze`] off a prebuilt [`TraceIndex`]: the system's records come
+/// from its posting list instead of a filtered clone.
+///
+/// # Errors
+///
+/// Same as [`analyze`].
+pub fn analyze_indexed(
+    index: &TraceIndex<'_>,
+    spec: &SystemSpec,
+) -> Result<LifetimeCurve, AnalysisError> {
+    let system_trace = index.system(spec.id());
     if system_trace.len() < 10 {
         return Err(AnalysisError::InsufficientData {
             what: "lifetime curve",

@@ -6,7 +6,7 @@
 //! Poisson, normal and lognormal — the Poisson loses because real
 //! per-node rates are heterogeneous (overdispersed).
 
-use hpcfail_records::{Catalog, FailureTrace, NodeId, SystemId, Workload};
+use hpcfail_records::{Catalog, FailureTrace, NodeId, SystemId, SystemSpec, TraceIndex, Workload};
 use hpcfail_stats::dist::{Continuous, Discrete, LogNormal, NegativeBinomial, Normal, Poisson};
 use hpcfail_stats::ecdf::Ecdf;
 use hpcfail_stats::prepared::PreparedSample;
@@ -118,6 +118,30 @@ pub fn analyze(
 ) -> Result<PerNodeAnalysis, AnalysisError> {
     let spec = catalog.system(system)?;
     let counts = trace.failures_per_node(system, spec.nodes());
+    analyze_counts(counts, spec, system)
+}
+
+/// [`analyze`] off a prebuilt [`TraceIndex`]: per-node counts are read
+/// from the node-run offsets instead of scanning the trace.
+///
+/// # Errors
+///
+/// Same as [`analyze`].
+pub fn analyze_indexed(
+    index: &TraceIndex<'_>,
+    catalog: &Catalog,
+    system: SystemId,
+) -> Result<PerNodeAnalysis, AnalysisError> {
+    let spec = catalog.system(system)?;
+    let counts = index.failures_per_node(system, spec.nodes());
+    analyze_counts(counts, spec, system)
+}
+
+fn analyze_counts(
+    counts: Vec<u64>,
+    spec: &SystemSpec,
+    system: SystemId,
+) -> Result<PerNodeAnalysis, AnalysisError> {
     let total: u64 = counts.iter().sum();
     if total < 3 {
         return Err(AnalysisError::InsufficientData {

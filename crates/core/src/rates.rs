@@ -4,7 +4,7 @@
 //! cross-system variability, i.e. failure rates grow roughly linearly
 //! with system size.
 
-use hpcfail_records::{Catalog, FailureTrace, HardwareType, SystemId};
+use hpcfail_records::{Catalog, FailureTrace, HardwareType, SystemId, TraceIndex};
 use hpcfail_stats::descriptive;
 
 use crate::error::AnalysisError;
@@ -94,14 +94,27 @@ impl RateAnalysis {
 ///
 /// [`AnalysisError::InsufficientData`] for an empty trace.
 pub fn analyze(trace: &FailureTrace, catalog: &Catalog) -> Result<RateAnalysis, AnalysisError> {
-    if trace.is_empty() {
+    analyze_indexed(&trace.index(), catalog)
+}
+
+/// [`analyze`] off a prebuilt [`TraceIndex`]: per-system counts come
+/// straight from the posting-list span lengths.
+///
+/// # Errors
+///
+/// Same as [`analyze`].
+pub fn analyze_indexed(
+    index: &TraceIndex<'_>,
+    catalog: &Catalog,
+) -> Result<RateAnalysis, AnalysisError> {
+    if index.is_empty() {
         return Err(AnalysisError::InsufficientData {
             what: "failure rates",
             needed: 1,
             got: 0,
         });
     }
-    let counts = trace.count_by_system();
+    let counts = index.all().count_by_system();
     // Fan out over systems; results come back in catalog order for any
     // worker count.
     let rates = crate::exec::par_system_map(catalog, |spec| {

@@ -6,7 +6,7 @@
 //! system, showing a strong hardware-type effect and insensitivity to
 //! system size.
 
-use hpcfail_records::{Catalog, FailureTrace, HardwareType, RootCause, SystemId};
+use hpcfail_records::{Catalog, FailureTrace, HardwareType, RootCause, SystemId, TraceIndex};
 use hpcfail_stats::descriptive::{self, Summary};
 use hpcfail_stats::fit::{fit_paper_set_prepared, FitReport};
 use hpcfail_stats::prepared::PreparedSample;
@@ -46,7 +46,17 @@ impl RepairByCause {
 /// [`AnalysisError::InsufficientData`] for an empty trace; propagates
 /// summary errors.
 pub fn by_cause(trace: &FailureTrace) -> Result<RepairByCause, AnalysisError> {
-    if trace.is_empty() {
+    by_cause_indexed(&trace.index())
+}
+
+/// [`by_cause`] off a prebuilt [`TraceIndex`]: each cause's repair times
+/// come straight off its posting list, no per-cause trace clones.
+///
+/// # Errors
+///
+/// Same as [`by_cause`].
+pub fn by_cause_indexed(index: &TraceIndex<'_>) -> Result<RepairByCause, AnalysisError> {
+    if index.is_empty() {
         return Err(AnalysisError::InsufficientData {
             what: "repair times",
             needed: 1,
@@ -64,7 +74,7 @@ pub fn by_cause(trace: &FailureTrace) -> Result<RepairByCause, AnalysisError> {
     ];
     let mut rows = Vec::new();
     for cause in order {
-        let minutes = trace.filter_cause(cause).downtimes_minutes();
+        let minutes = index.cause(cause).downtimes_minutes();
         if minutes.is_empty() {
             continue;
         }
@@ -75,7 +85,7 @@ pub fn by_cause(trace: &FailureTrace) -> Result<RepairByCause, AnalysisError> {
     }
     let all = RepairRow {
         cause: None,
-        summary: Summary::from_sample(&trace.downtimes_minutes())?,
+        summary: Summary::from_sample(&index.all().downtimes_minutes())?,
     };
     Ok(RepairByCause { rows, all })
 }
@@ -87,6 +97,16 @@ pub fn by_cause(trace: &FailureTrace) -> Result<RepairByCause, AnalysisError> {
 /// Propagates fitting errors (empty/degenerate samples).
 pub fn fit_all_repairs(trace: &FailureTrace) -> Result<FitReport, AnalysisError> {
     let minutes = trace.downtimes_minutes();
+    Ok(fit_paper_set_prepared(&PreparedSample::from_vec(minutes)?)?)
+}
+
+/// [`fit_all_repairs`] off a prebuilt [`TraceIndex`].
+///
+/// # Errors
+///
+/// Propagates fitting errors (empty/degenerate samples).
+pub fn fit_all_repairs_indexed(index: &TraceIndex<'_>) -> Result<FitReport, AnalysisError> {
+    let minutes = index.all().downtimes_minutes();
     Ok(fit_paper_set_prepared(&PreparedSample::from_vec(minutes)?)?)
 }
 
@@ -108,11 +128,18 @@ pub struct SystemRepair {
 /// Compute per-system mean/median repair times (Fig. 7(b)(c)). Systems
 /// with no records in the trace are omitted.
 pub fn by_system(trace: &FailureTrace, catalog: &Catalog) -> Vec<SystemRepair> {
+    by_system_indexed(&trace.index(), catalog)
+}
+
+/// [`by_system`] off a prebuilt [`TraceIndex`]: workers take borrowed
+/// per-system views of the shared index (it is `Sync`) instead of
+/// cloning a sub-trace each.
+pub fn by_system_indexed(index: &TraceIndex<'_>, catalog: &Catalog) -> Vec<SystemRepair> {
     // Each system's summary is independent of the others; fan out and
     // keep catalog order (the fan-out returns results at their input
     // index, so this is deterministic for any worker count).
     crate::exec::par_system_map(catalog, |spec| {
-        let minutes = trace.filter_system(spec.id()).downtimes_minutes();
+        let minutes = index.system(spec.id()).downtimes_minutes();
         if minutes.is_empty() {
             return None;
         }
@@ -179,12 +206,25 @@ pub fn fit_type_repairs(
     catalog: &Catalog,
     hw: HardwareType,
 ) -> Result<FitReport, AnalysisError> {
+    fit_type_repairs_indexed(&trace.index(), catalog, hw)
+}
+
+/// [`fit_type_repairs`] off a prebuilt [`TraceIndex`]. The type's
+/// systems interleave in time, and the fit's accumulation order is the
+/// trace order, so the view is a row scan over the system column — not
+/// a concatenation of per-system posting lists, which would reorder the
+/// sample.
+///
+/// # Errors
+///
+/// Propagates fitting errors (e.g. no records of that type).
+pub fn fit_type_repairs_indexed(
+    index: &TraceIndex<'_>,
+    catalog: &Catalog,
+    hw: HardwareType,
+) -> Result<FitReport, AnalysisError> {
     let ids: Vec<SystemId> = catalog.systems_of_type(hw).iter().map(|s| s.id()).collect();
-    let minutes: Vec<f64> = trace
-        .iter()
-        .filter(|r| ids.contains(&r.system()))
-        .map(|r| r.downtime_minutes())
-        .collect();
+    let minutes = index.all().filter_systems(&ids).downtimes_minutes();
     Ok(fit_paper_set_prepared(&PreparedSample::from_vec(minutes)?)?)
 }
 

@@ -4,7 +4,10 @@
 
 use std::collections::BTreeMap;
 
-use hpcfail_records::{Catalog, DetailedCause, FailureTrace, HardwareType, RootCause};
+use hpcfail_records::{
+    Catalog, CauseTotals, DetailedCause, FailureTrace, HardwareType, RootCause, TraceIndex,
+    TraceView,
+};
 
 /// Counts and downtime per high-level root cause for one slice of the
 /// data (one hardware type, or everything).
@@ -24,6 +27,24 @@ impl CauseBreakdown {
             b.downtime_secs[i] += r.downtime_secs();
         }
         b
+    }
+
+    /// Accumulate a breakdown over a borrowed [`TraceView`] — same
+    /// result as [`CauseBreakdown::from_trace`] on the equivalent owned
+    /// filtered trace, without materializing it.
+    pub fn from_view(view: &TraceView<'_>) -> Self {
+        let mut b = CauseBreakdown::default();
+        for totals in view.counts_by_cause_per_system().values() {
+            b.add_totals(totals);
+        }
+        b
+    }
+
+    fn add_totals(&mut self, totals: &CauseTotals) {
+        for i in 0..6 {
+            self.counts[i] += totals.count[i];
+            self.downtime_secs[i] += totals.downtime_secs[i];
+        }
     }
 
     /// Total failure count.
@@ -94,19 +115,25 @@ pub struct RootCauseAnalysis {
 /// Run the Fig. 1 analysis: group records by the hardware type of their
 /// system and compute count/downtime breakdowns.
 pub fn analyze(trace: &FailureTrace, catalog: &Catalog) -> RootCauseAnalysis {
+    analyze_indexed(&trace.index(), catalog)
+}
+
+/// [`analyze`] off a prebuilt [`TraceIndex`]: one pass over the
+/// system/cause/downtime columns produces per-system totals, which fold
+/// into hardware types with a single catalog lookup per system instead
+/// of one per record. All accumulation is integer, so the fold order
+/// cannot change the result.
+pub fn analyze_indexed(index: &TraceIndex<'_>, catalog: &Catalog) -> RootCauseAnalysis {
+    let totals = index.all().counts_by_cause_per_system();
     let mut by_type: BTreeMap<HardwareType, CauseBreakdown> = BTreeMap::new();
-    for r in trace.iter() {
-        if let Ok(spec) = catalog.system(r.system()) {
-            let b = by_type.entry(spec.hardware()).or_default();
-            let i = r.cause().index();
-            b.counts[i] += 1;
-            b.downtime_secs[i] += r.downtime_secs();
+    let mut all = CauseBreakdown::default();
+    for (&system, t) in &totals {
+        all.add_totals(t);
+        if let Ok(spec) = catalog.system(system) {
+            by_type.entry(spec.hardware()).or_default().add_totals(t);
         }
     }
-    RootCauseAnalysis {
-        by_type,
-        all: CauseBreakdown::from_trace(trace),
-    }
+    RootCauseAnalysis { by_type, all }
 }
 
 /// Section 4's detailed-cause statistic: the fraction of *all* failures

@@ -13,7 +13,7 @@
 //! * early era, system view: >30% of gaps are exactly zero (correlated
 //!   simultaneous failures) and no standard distribution fits.
 
-use hpcfail_records::{FailureTrace, NodeId, SystemId, Timestamp};
+use hpcfail_records::{FailureTrace, NodeId, SystemId, Timestamp, TraceIndex};
 use hpcfail_stats::descriptive;
 use hpcfail_stats::fit::{fit_paper_set_prepared, FitReport};
 use hpcfail_stats::prepared::PreparedSample;
@@ -90,9 +90,24 @@ pub fn analyze(
     view: View,
     window: Option<(Timestamp, Timestamp)>,
 ) -> Result<TbfAnalysis, AnalysisError> {
+    analyze_indexed(&trace.index(), view, window)
+}
+
+/// [`analyze`] off a prebuilt [`TraceIndex`] — callers running several
+/// views/windows over one trace (the Fig. 6 grid) build the index once
+/// and fan the analyses off borrowed views instead of cloning per group.
+///
+/// # Errors
+///
+/// Same as [`analyze`].
+pub fn analyze_indexed(
+    index: &TraceIndex<'_>,
+    view: View,
+    window: Option<(Timestamp, Timestamp)>,
+) -> Result<TbfAnalysis, AnalysisError> {
     let windowed = match window {
-        Some((from, to)) => trace.filter_window(from, to),
-        None => trace.clone(),
+        Some((from, to)) => index.all().window(from, to),
+        None => index.all(),
     };
     let gaps: Vec<f64> = match view {
         View::Node(system, node) => windowed
@@ -160,8 +175,21 @@ pub fn censored_gap_survival(
     view: View,
     window: (Timestamp, Timestamp),
 ) -> Result<hpcfail_stats::survival::KaplanMeier, AnalysisError> {
+    censored_gap_survival_indexed(&trace.index(), view, window)
+}
+
+/// [`censored_gap_survival`] off a prebuilt [`TraceIndex`].
+///
+/// # Errors
+///
+/// Same as [`censored_gap_survival`].
+pub fn censored_gap_survival_indexed(
+    index: &TraceIndex<'_>,
+    view: View,
+    window: (Timestamp, Timestamp),
+) -> Result<hpcfail_stats::survival::KaplanMeier, AnalysisError> {
     use hpcfail_stats::survival::{KaplanMeier, Observation};
-    let windowed = trace.filter_window(window.0, window.1);
+    let windowed = index.all().window(window.0, window.1);
     let sub = match view {
         View::Node(system, node) => windowed.filter_node(system, node),
         View::SystemWide(system) | View::PooledNodes(system) => windowed.filter_system(system),

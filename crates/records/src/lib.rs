@@ -23,6 +23,7 @@ pub mod catalog;
 mod cause;
 mod error;
 mod ids;
+pub mod index;
 pub mod intervals;
 pub mod io;
 pub mod io_lanl;
@@ -35,6 +36,7 @@ pub use catalog::{Catalog, NodeCategory, SystemSpec};
 pub use cause::{DetailedCause, RootCause};
 pub use error::RecordError;
 pub use ids::{HardwareType, NodeId, SystemId};
+pub use index::{CauseTotals, TraceIndex, TraceView};
 pub use record::FailureRecord;
 pub use time::Timestamp;
 pub use trace::FailureTrace;

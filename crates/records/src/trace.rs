@@ -37,6 +37,16 @@ impl FailureTrace {
         FailureTrace { records }
     }
 
+    /// Wrap records already in `(start, system, node)` order without
+    /// re-sorting. Callers (the index layer) guarantee the invariant.
+    pub(crate) fn from_sorted_records(records: Vec<FailureRecord>) -> Self {
+        debug_assert!(records
+            .windows(2)
+            .all(|w| (w[0].start(), w[0].system(), w[0].node())
+                <= (w[1].start(), w[1].system(), w[1].node())));
+        FailureTrace { records }
+    }
+
     /// Add one record, keeping the ordering invariant.
     pub fn push(&mut self, record: FailureRecord) {
         // Fast path: appending in time order.
@@ -97,8 +107,21 @@ impl FailureTrace {
 
     /// Records that *start* within `[from, to)` — the paper's era splits
     /// (1996–1999 vs 2000–2005 in Fig. 6).
+    ///
+    /// Because records are kept sorted by start time, the window is two
+    /// binary searches plus one contiguous copy, not a full scan.
     pub fn filter_window(&self, from: Timestamp, to: Timestamp) -> FailureTrace {
-        self.filter(|r| r.start() >= from && r.start() < to)
+        let (lo, hi) = self.window_bounds(from, to);
+        FailureTrace {
+            records: self.records[lo..hi].to_vec(),
+        }
+    }
+
+    /// Index range `[lo, hi)` of records starting within `[from, to)`.
+    pub(crate) fn window_bounds(&self, from: Timestamp, to: Timestamp) -> (usize, usize) {
+        let lo = self.records.partition_point(|r| r.start() < from);
+        let hi = self.records.partition_point(|r| r.start() < to);
+        (lo, hi.max(lo))
     }
 
     /// Generic predicate filter preserving order.
@@ -216,10 +239,55 @@ impl FailureTrace {
     }
 
     /// Merge another trace into this one.
+    ///
+    /// When both sides already satisfy the full `(start, system, node)`
+    /// ordering this is a single O(n+m) sorted merge; equal keys take the
+    /// `self` record first, matching what the stable resort of the
+    /// concatenation used to produce. [`FailureTrace::push`] only
+    /// maintains start-order, so a side that lost the full ordering falls
+    /// back to extend-then-resort.
     pub fn merge(&mut self, other: FailureTrace) {
-        self.records.extend(other.records);
-        self.records
-            .sort_by_key(|r| (r.start(), r.system(), r.node()));
+        fn full_key(r: &FailureRecord) -> (Timestamp, SystemId, NodeId) {
+            (r.start(), r.system(), r.node())
+        }
+        fn fully_sorted(records: &[FailureRecord]) -> bool {
+            records.windows(2).all(|w| full_key(&w[0]) <= full_key(&w[1]))
+        }
+
+        if other.records.is_empty() {
+            return;
+        }
+        if fully_sorted(&self.records) && fully_sorted(&other.records) {
+            if self.records.is_empty() {
+                self.records = other.records;
+                return;
+            }
+            let a = std::mem::take(&mut self.records);
+            let b = other.records;
+            let mut merged = Vec::with_capacity(a.len() + b.len());
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                if full_key(&a[i]) <= full_key(&b[j]) {
+                    merged.push(a[i]);
+                    i += 1;
+                } else {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&a[i..]);
+            merged.extend_from_slice(&b[j..]);
+            self.records = merged;
+        } else {
+            self.records.extend(other.records);
+            self.records
+                .sort_by_key(|r| (r.start(), r.system(), r.node()));
+        }
+    }
+
+    /// A zero-copy query index over this trace. See [`crate::index`].
+    pub fn index(&self) -> crate::index::TraceIndex<'_> {
+        crate::index::TraceIndex::build(self)
     }
 }
 

@@ -61,6 +61,42 @@ pub fn profiles_from_trace(
         });
     }
     let counts = trace.failures_per_node(system, node_count);
+    profiles_from_counts(&counts, observation_years)
+}
+
+/// [`profiles_from_trace`] off a prebuilt
+/// [`hpcfail_records::TraceIndex`]: counts come from the node-run
+/// offsets instead of a trace scan.
+///
+/// # Errors
+///
+/// Same as [`profiles_from_trace`].
+pub fn profiles_from_index(
+    index: &hpcfail_records::TraceIndex<'_>,
+    system: SystemId,
+    node_count: u32,
+    observation_years: f64,
+) -> Result<Vec<NodeProfile>, SchedError> {
+    if node_count == 0 {
+        return Err(SchedError::InvalidParameter {
+            name: "node_count",
+            value: 0.0,
+        });
+    }
+    if !observation_years.is_finite() || observation_years <= 0.0 {
+        return Err(SchedError::InvalidParameter {
+            name: "observation_years",
+            value: observation_years,
+        });
+    }
+    let counts = index.failures_per_node(system, node_count);
+    profiles_from_counts(&counts, observation_years)
+}
+
+fn profiles_from_counts(
+    counts: &[u64],
+    observation_years: f64,
+) -> Result<Vec<NodeProfile>, SchedError> {
     Ok(counts
         .iter()
         .enumerate()

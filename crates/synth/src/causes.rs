@@ -12,9 +12,25 @@ use serde::{Deserialize, Serialize};
 /// Sampling weights over the six high-level root causes, in
 /// [`RootCause::ALL`] order (hardware, software, network, environment,
 /// human, unknown).
+///
+/// The cumulative weights are precomputed at construction so each draw
+/// is a `partition_point` lookup instead of a linear walk; the running
+/// sums are built with the exact same left-to-right additions the old
+/// per-draw walk performed, so sampling is bit-identical.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CauseMix {
     weights: [f64; 6],
+    cum: [f64; 6],
+}
+
+fn cumulative(weights: &[f64; 6]) -> [f64; 6] {
+    let mut cum = [0.0; 6];
+    let mut acc = 0.0;
+    for (c, &w) in cum.iter_mut().zip(weights) {
+        acc += w;
+        *c = acc;
+    }
+    cum
 }
 
 impl CauseMix {
@@ -35,6 +51,7 @@ impl CauseMix {
         }
         Some(CauseMix {
             weights: normalized,
+            cum: cumulative(&normalized),
         })
     }
 
@@ -43,17 +60,14 @@ impl CauseMix {
         self.weights[cause.index()]
     }
 
-    /// Sample a high-level category.
+    /// Sample a high-level category: one uniform draw located in the
+    /// precomputed cumulative weights. Returns the first category whose
+    /// running sum exceeds the draw — exactly what the old linear walk
+    /// returned, including the round-off fallback to `Unknown`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> RootCause {
         let u: f64 = rng.random();
-        let mut acc = 0.0;
-        for (i, &w) in self.weights.iter().enumerate() {
-            acc += w;
-            if u < acc {
-                return RootCause::ALL[i];
-            }
-        }
-        RootCause::ALL[5] // float round-off → Unknown
+        let i = self.cum.partition_point(|&c| c <= u);
+        RootCause::ALL[i.min(5)]
     }
 
     /// The Fig. 1(a)-calibrated mix for a hardware type.
@@ -76,23 +90,88 @@ impl CauseMix {
     }
 }
 
+/// A weight table over detailed causes with precomputed cumulative
+/// sums, so a draw is one `partition_point` instead of a linear walk.
+#[derive(Debug, Clone, Copy)]
+struct CumTable {
+    causes: [DetailedCause; 6],
+    cum: [f64; 6],
+    len: usize,
+    total: f64,
+}
+
+impl CumTable {
+    fn new(table: &[(DetailedCause, f64)]) -> Self {
+        debug_assert!(!table.is_empty() && table.len() <= 6);
+        let total: f64 = table.iter().map(|(_, w)| w).sum();
+        let mut causes = [DetailedCause::Undetermined; 6];
+        let mut cum = [f64::INFINITY; 6];
+        let mut acc = 0.0;
+        for (i, &(c, w)) in table.iter().enumerate() {
+            causes[i] = c;
+            acc += w;
+            cum[i] = acc;
+        }
+        CumTable {
+            causes,
+            cum,
+            len: table.len(),
+            total,
+        }
+    }
+
+    /// One uniform draw scaled by the (unnormalized) total, located in
+    /// the cumulative sums; round-off past the last entry falls back to
+    /// the last cause, as the old subtractive walk did.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> DetailedCause {
+        let u: f64 = rng.random::<f64>() * self.total;
+        let i = self.cum[..self.len].partition_point(|&c| c <= u);
+        self.causes[i.min(self.len - 1)]
+    }
+}
+
 /// Conditional sampler for the detailed cause given the high-level
 /// category and hardware type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The per-category weight tables are turned into cumulative-sum tables
+/// once at construction ([`DetailModel::for_type`]); each draw then
+/// costs a single uniform plus a binary search. Equality is defined by
+/// the hardware type alone, exactly as before the tables were cached
+/// (the tables are a pure function of it).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct DetailModel {
     hw: HardwareType,
+    hardware: CumTable,
+    software: CumTable,
+    environment: CumTable,
 }
+
+impl PartialEq for DetailModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.hw == other.hw
+    }
+}
+
+impl Eq for DetailModel {}
 
 impl DetailModel {
     /// Detail model for a hardware type.
     pub fn for_type(hw: HardwareType) -> Self {
-        DetailModel { hw }
+        DetailModel {
+            hw,
+            hardware: CumTable::new(Self::hardware_mix(hw)),
+            software: CumTable::new(Self::software_mix(hw)),
+            environment: CumTable::new(&[
+                (DetailedCause::PowerOutage, 0.6),
+                (DetailedCause::AirConditioning, 0.4),
+            ]),
+        }
     }
 
     /// The hardware-failure detail mix `(cause, weight)` for this type.
-    fn hardware_mix(&self) -> &'static [(DetailedCause, f64)] {
+    fn hardware_mix(hw: HardwareType) -> &'static [(DetailedCause, f64)] {
         use DetailedCause::*;
-        match self.hw {
+        match hw {
             // Type E: the CPU design flaw makes CPU >50% of ALL failures
             // (0.81 × 0.62 hardware share ≈ 0.50); memory still >10%.
             HardwareType::E => &[
@@ -142,9 +221,9 @@ impl DetailModel {
 
     /// The software-failure detail mix for this type (Section 4: OS on E,
     /// parallel FS on F, scheduler on H, unspecified on D and G).
-    fn software_mix(&self) -> &'static [(DetailedCause, f64)] {
+    fn software_mix(hw: HardwareType) -> &'static [(DetailedCause, f64)] {
         use DetailedCause::*;
-        match self.hw {
+        match hw {
             HardwareType::E => &[
                 (OperatingSystem, 0.55),
                 (ParallelFileSystem, 0.15),
@@ -178,28 +257,19 @@ impl DetailModel {
         }
     }
 
-    /// Sample a detailed cause consistent with the high-level category.
+    /// Sample a detailed cause consistent with the high-level category:
+    /// still a single uniform draw per call, located in the precomputed
+    /// cumulative table for the category.
     pub fn sample<R: Rng + ?Sized>(&self, category: RootCause, rng: &mut R) -> DetailedCause {
-        let table: &[(DetailedCause, f64)] = match category {
-            RootCause::Hardware => self.hardware_mix(),
-            RootCause::Software => self.software_mix(),
-            RootCause::Environment => &[
-                (DetailedCause::PowerOutage, 0.6),
-                (DetailedCause::AirConditioning, 0.4),
-            ],
+        let table = match category {
+            RootCause::Hardware => &self.hardware,
+            RootCause::Software => &self.software,
+            RootCause::Environment => &self.environment,
             RootCause::Network => return DetailedCause::NetworkOther,
             RootCause::Human => return DetailedCause::HumanOther,
             RootCause::Unknown => return DetailedCause::Undetermined,
         };
-        let total: f64 = table.iter().map(|(_, w)| w).sum();
-        let mut u: f64 = rng.random::<f64>() * total;
-        for &(cause, w) in table {
-            if u < w {
-                return cause;
-            }
-            u -= w;
-        }
-        table.last().expect("tables are non-empty").0
+        table.sample(rng)
     }
 }
 
@@ -243,6 +313,96 @@ mod tests {
                 (measured - expected).abs() < 0.01,
                 "{cause}: {measured} vs {expected}"
             );
+        }
+    }
+
+    #[test]
+    fn mix_sampling_matches_linear_walk() {
+        // The partition_point lookup must return exactly what the old
+        // per-draw linear walk over the weights returned, draw for draw.
+        for (seed, &hw) in HardwareType::ALL.iter().enumerate() {
+            let mix = CauseMix::for_type(hw);
+            let mut fast = StdRng::seed_from_u64(seed as u64);
+            let mut reference = StdRng::seed_from_u64(seed as u64);
+            for _ in 0..10_000 {
+                let got = mix.sample(&mut fast);
+                let u: f64 = reference.random();
+                let mut acc = 0.0;
+                let mut expect = RootCause::ALL[5];
+                for (i, &c) in RootCause::ALL.iter().enumerate() {
+                    acc += mix.probability(c);
+                    if u < acc {
+                        expect = RootCause::ALL[i];
+                        break;
+                    }
+                }
+                assert_eq!(got, expect, "{hw}");
+            }
+        }
+    }
+
+    #[test]
+    fn detail_sampling_matches_linear_walk() {
+        // Same pin for the conditional detail tables: the cached
+        // cumulative sums must reproduce the old subtractive walk.
+        let mut fast = StdRng::seed_from_u64(7);
+        let mut reference = StdRng::seed_from_u64(7);
+        let env: &[(DetailedCause, f64)] = &[
+            (DetailedCause::PowerOutage, 0.6),
+            (DetailedCause::AirConditioning, 0.4),
+        ];
+        for hw in HardwareType::ALL {
+            let model = DetailModel::for_type(hw);
+            for cat in [
+                RootCause::Hardware,
+                RootCause::Software,
+                RootCause::Environment,
+            ] {
+                let table: &[(DetailedCause, f64)] = match cat {
+                    RootCause::Hardware => DetailModel::hardware_mix(hw),
+                    RootCause::Software => DetailModel::software_mix(hw),
+                    _ => env,
+                };
+                for _ in 0..5_000 {
+                    let got = model.sample(cat, &mut fast);
+                    let total: f64 = table.iter().map(|(_, w)| w).sum();
+                    let mut u: f64 = reference.random::<f64>() * total;
+                    let mut expect = table.last().unwrap().0;
+                    for &(cause, w) in table {
+                        if u < w {
+                            expect = cause;
+                            break;
+                        }
+                        u -= w;
+                    }
+                    assert_eq!(got, expect, "{hw} {cat}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_is_equal_and_samples_identically() {
+        // The cached cumulative tables are a pure function of the
+        // construction inputs: rebuilding a mix/model yields an equal
+        // value with an identical draw sequence.
+        let mix = CauseMix::for_type(HardwareType::F);
+        let again = CauseMix::for_type(HardwareType::F);
+        assert_eq!(mix, again);
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..1_000 {
+            assert_eq!(mix.sample(&mut a), again.sample(&mut b));
+        }
+
+        let model = DetailModel::for_type(HardwareType::H);
+        let again = DetailModel::for_type(HardwareType::H);
+        assert_eq!(model, again);
+        let mut a = StdRng::seed_from_u64(12);
+        let mut b = StdRng::seed_from_u64(12);
+        for _ in 0..1_000 {
+            let c = model.sample(RootCause::Hardware, &mut a);
+            assert_eq!(c, again.sample(RootCause::Hardware, &mut b));
         }
     }
 

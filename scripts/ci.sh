@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: build, full test suite, then prove the determinism contract
 # end-to-end by diffing repro output between a serial (HPCFAIL_THREADS=1)
-# and a parallel (HPCFAIL_THREADS=8) run, smoke-run the fit benchmark
-# suite, and check the recorded fit-bench numbers parse.
+# and a parallel (HPCFAIL_THREADS=8) run, smoke-run the fit and trace
+# benchmark suites, and check the recorded bench numbers parse.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,6 +33,9 @@ echo "OK: repro output byte-identical across worker counts"
 echo "==> fit benchmark suite smoke run (--test mode: each bench once, untimed)"
 cargo bench -q -p hpcfail-bench --bench fit_bench -- --test
 
+echo "==> trace query benchmark suite smoke run (--test mode: each bench once, untimed)"
+cargo bench -q -p hpcfail-bench --bench trace_bench -- --test
+
 echo "==> recorded fit-bench numbers (experiments/BENCH_fit.json)"
 if command -v python3 >/dev/null 2>&1; then
     python3 - <<'EOF'
@@ -48,5 +51,21 @@ else
     echo "OK: BENCH_fit.json present (python3 unavailable, skipped value check)"
 fi
 echo "    (re-record with: cargo bench -p hpcfail-bench --bench fit_bench)"
+
+echo "==> recorded trace-bench numbers (experiments/BENCH_trace.json)"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+with open("experiments/BENCH_trace.json") as f:
+    doc = json.load(f)
+ratio = doc["groups"]["per_node_tbf"]["speedup_at_1e6"]["indexed_warm_vs_legacy"]
+assert ratio >= 3.0, f"per-node TBF speedup regressed below 3x: {ratio}"
+print(f"OK: BENCH_trace.json parses; recorded per-node TBF speedup at 1e6 = {ratio}x")
+EOF
+else
+    grep -q '"indexed_warm_vs_legacy"' experiments/BENCH_trace.json
+    echo "OK: BENCH_trace.json present (python3 unavailable, skipped value check)"
+fi
+echo "    (re-record with: cargo bench -p hpcfail-bench --bench trace_bench)"
 
 echo "==> ci.sh passed"

@@ -406,6 +406,235 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Trace query index: borrowed views vs owned filtered traces
+// ---------------------------------------------------------------------
+
+/// Exact float equality that also matches NaN with NaN (the empty-slice
+/// sentinel of `zero_gap_fraction`).
+fn f64_identical(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
+}
+
+/// Assert that a borrowed view answers every query exactly as the owned
+/// filtered trace it mirrors — same records, same element order, same
+/// float sequences, same group-by maps.
+fn assert_view_matches_owned(view: &TraceView<'_>, owned: &FailureTrace) {
+    assert_eq!(view.len(), owned.len());
+    assert_eq!(view.is_empty(), owned.is_empty());
+    let viewed: Vec<&FailureRecord> = view.iter().collect();
+    let records: Vec<&FailureRecord> = owned.iter().collect();
+    assert_eq!(viewed, records, "record sequence");
+    assert_eq!(view.to_trace().records(), owned.records());
+    assert_eq!(view.first_start(), owned.first_start());
+    assert_eq!(view.last_start(), owned.last_start());
+    assert_eq!(view.total_downtime_secs(), owned.total_downtime_secs());
+    assert_eq!(view.downtimes_minutes(), owned.downtimes_minutes());
+    assert_eq!(view.count_by_cause(), owned.count_by_cause());
+    assert_eq!(view.downtime_by_cause(), owned.downtime_by_cause());
+    assert_eq!(view.count_by_system(), owned.count_by_system());
+    match (view.interarrival_secs(), owned.interarrival_secs()) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "interarrival sequence"),
+        (Err(_), Err(_)) => {}
+        (a, b) => panic!("interarrival mismatch: view {a:?} vs owned {b:?}"),
+    }
+    assert_eq!(
+        view.per_node_interarrival_secs(),
+        owned.per_node_interarrival_secs(),
+        "pooled per-node gap sequence"
+    );
+    assert!(f64_identical(view.zero_gap_fraction(), owned.zero_gap_fraction()));
+}
+
+fn index_systems(trace: &FailureTrace) -> Vec<SystemId> {
+    let mut ids: Vec<SystemId> = trace.iter().map(|r| r.system()).collect();
+    ids.sort();
+    ids.dedup();
+    ids.push(SystemId::new(99)); // one absent system
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every single-axis view answers queries exactly like the owned
+    /// `filter_*` trace it replaces, on arbitrary traces.
+    #[test]
+    fn views_match_owned_filters(
+        records in prop::collection::vec(arbitrary_record(), 0..120),
+    ) {
+        let trace = FailureTrace::from_records(records);
+        let idx = trace.index();
+        assert_view_matches_owned(&idx.all(), &trace);
+        for sys in index_systems(&trace) {
+            assert_view_matches_owned(&idx.system(sys), &trace.filter_system(sys));
+            assert_view_matches_owned(
+                &idx.all().filter_system(sys),
+                &trace.filter_system(sys),
+            );
+            for node in 0..3u32 {
+                let node = NodeId::new(node);
+                assert_view_matches_owned(
+                    &idx.node(sys, node),
+                    &trace.filter_node(sys, node),
+                );
+            }
+        }
+        for cause in RootCause::ALL {
+            assert_view_matches_owned(&idx.cause(cause), &trace.filter_cause(cause));
+            assert_view_matches_owned(
+                &idx.all().filter_cause(cause),
+                &trace.filter_cause(cause),
+            );
+        }
+        for w in Workload::ALL {
+            assert_view_matches_owned(&idx.workload(w), &trace.filter_workload(w));
+            prop_assert_eq!(idx.all().count_workload(w), trace.filter_workload(w).len());
+        }
+    }
+
+    /// Window slicing and stacked filter compositions agree with chains
+    /// of owned filters, in every order.
+    #[test]
+    fn view_windows_and_compositions_match_owned(
+        records in prop::collection::vec(arbitrary_record(), 0..120),
+        a in 0u64..320_000_000,
+        b in 0u64..320_000_000,
+    ) {
+        let trace = FailureTrace::from_records(records);
+        let idx = trace.index();
+        let (from, to) = (Timestamp::from_secs(a.min(b)), Timestamp::from_secs(a.max(b)));
+        assert_view_matches_owned(&idx.all().window(from, to), &trace.filter_window(from, to));
+        for sys in index_systems(&trace) {
+            let owned = trace.filter_system(sys).filter_window(from, to);
+            assert_view_matches_owned(&idx.system(sys).window(from, to), &owned);
+            // Window first, system second — same rows either way.
+            assert_view_matches_owned(
+                &idx.all().window(from, to).filter_system(sys),
+                &owned,
+            );
+            for node in 0..2u32 {
+                let node = NodeId::new(node);
+                assert_view_matches_owned(
+                    &idx.node(sys, node).window(from, to),
+                    &trace.filter_node(sys, node).filter_window(from, to),
+                );
+            }
+        }
+        for cause in RootCause::ALL {
+            assert_view_matches_owned(
+                &idx.cause(cause).window(from, to),
+                &trace.filter_cause(cause).filter_window(from, to),
+            );
+            assert_view_matches_owned(
+                &idx.all().window(from, to).filter_cause(cause),
+                &trace.filter_window(from, to).filter_cause(cause),
+            );
+        }
+    }
+
+    /// The single-pass group-by kernels agree with per-record folds over
+    /// the owned trace.
+    #[test]
+    fn view_group_kernels_match_owned_folds(
+        records in prop::collection::vec(arbitrary_record(), 0..120),
+    ) {
+        use std::collections::BTreeMap;
+        let trace = FailureTrace::from_records(records);
+        let idx = trace.index();
+
+        let mut downtime_by_system: BTreeMap<SystemId, u64> = BTreeMap::new();
+        let mut per_system: BTreeMap<SystemId, ([u64; 6], [u64; 6])> = BTreeMap::new();
+        for r in trace.iter() {
+            *downtime_by_system.entry(r.system()).or_insert(0) += r.downtime_secs();
+            let slot = per_system.entry(r.system()).or_insert(([0; 6], [0; 6]));
+            slot.0[r.cause().index()] += 1;
+            slot.1[r.cause().index()] += r.downtime_secs();
+        }
+        prop_assert_eq!(idx.all().downtime_by_system(), downtime_by_system);
+        let kernel = idx.all().counts_by_cause_per_system();
+        prop_assert_eq!(kernel.len(), per_system.len());
+        for (sys, totals) in &kernel {
+            let (counts, downtime) = &per_system[sys];
+            prop_assert_eq!(&totals.count, counts);
+            prop_assert_eq!(&totals.downtime_secs, downtime);
+        }
+        for sys in index_systems(&trace) {
+            prop_assert_eq!(
+                idx.failures_per_node(sys, 8),
+                trace.failures_per_node(sys, 8)
+            );
+            prop_assert_eq!(
+                idx.all().failures_per_node(sys, 8),
+                trace.failures_per_node(sys, 8)
+            );
+        }
+    }
+
+    /// The sorted-merge fast path must equal rebuilding from the record
+    /// concatenation (the pre-rewrite extend-then-resort semantics).
+    #[test]
+    fn merge_equals_from_records_of_concat(
+        a in prop::collection::vec(arbitrary_record(), 0..80),
+        b in prop::collection::vec(arbitrary_record(), 0..80),
+    ) {
+        let mut merged = FailureTrace::from_records(a.clone());
+        merged.merge(FailureTrace::from_records(b.clone()));
+        let mut concat = a;
+        concat.extend(b);
+        let rebuilt = FailureTrace::from_records(concat);
+        prop_assert_eq!(merged.records(), rebuilt.records());
+    }
+
+    /// `filter_window`'s partition_point slicing equals the predicate
+    /// scan it replaced: half-open `[from, to)` on the start column.
+    #[test]
+    fn filter_window_equals_predicate_scan(
+        records in prop::collection::vec(arbitrary_record(), 0..120),
+        a in 0u64..320_000_000,
+        b in 0u64..320_000_000,
+    ) {
+        let trace = FailureTrace::from_records(records);
+        let (from, to) = (Timestamp::from_secs(a.min(b)), Timestamp::from_secs(a.max(b)));
+        let sliced = trace.filter_window(from, to);
+        let scanned = trace.filter(|r| r.start() >= from && r.start() < to);
+        prop_assert_eq!(sliced.records(), scanned.records());
+        // Degenerate empty window.
+        let empty = trace.filter_window(to, from);
+        prop_assert!(empty.is_empty() || from == to);
+    }
+
+    /// `CauseMix::sample`'s cumulative lookup returns exactly what the
+    /// linear reference walk returns for the same uniform draw.
+    #[test]
+    fn cause_mix_sample_matches_linear_reference(
+        weights in (0.01f64..10.0, 0.01f64..10.0, 0.01f64..10.0,
+                    0.01f64..10.0, 0.01f64..10.0, 0.01f64..10.0),
+        seed in 0u64..10_000,
+    ) {
+        use hpcfail::synth::causes::CauseMix;
+        use rand::{RngExt, SeedableRng};
+        let (w0, w1, w2, w3, w4, w5) = weights;
+        let mix = CauseMix::new([w0, w1, w2, w3, w4, w5]).expect("positive weights are valid");
+        let mut fast = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut reference = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let got = mix.sample(&mut fast);
+            let u: f64 = reference.random();
+            let mut acc = 0.0;
+            let mut expect = RootCause::ALL[5];
+            for (i, &c) in RootCause::ALL.iter().enumerate() {
+                acc += mix.probability(c);
+                if u < acc {
+                    expect = RootCause::ALL[i];
+                    break;
+                }
+            }
+            prop_assert_eq!(got, expect);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Simulator conservation laws
 // ---------------------------------------------------------------------
 
