@@ -21,7 +21,7 @@ const SEED: u64 = scenario::DEFAULT_SEED;
 /// An experiment entry: name plus the function that renders it. Every
 /// experiment receives the site trace's query index, built once in
 /// `main`, and fans its analyses off borrowed views.
-type Experiment = (&'static str, fn(&Ctx, &TraceIndex<'_>));
+type Experiment = (&'static str, fn(&Ctx, &TraceIndex<'_>) -> Result<(), String>);
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,7 +71,9 @@ fn main() {
     for (name, f) in experiments {
         if wanted.is_empty() || wanted.contains(name) {
             println!("\n================= {name} =================");
-            f(&ctx, &site_index);
+            if let Err(cause) = f(&ctx, &site_index) {
+                println!("degraded: experiment {name}: {cause}");
+            }
             ran += 1;
         }
     }
@@ -115,7 +117,7 @@ impl Ctx {
 
 /// Table 1: overview of the 22 systems, with node-category detail
 /// (procs/node, memory, NICs) as in the right half of the paper's table.
-fn table1(ctx: &Ctx, _idx: &TraceIndex<'_>) {
+fn table1(ctx: &Ctx, _idx: &TraceIndex<'_>) -> Result<(), String> {
     let mut t = TextTable::new(&[
         "id",
         "hw",
@@ -170,10 +172,11 @@ fn table1(ctx: &Ctx, _idx: &TraceIndex<'_>) {
         ctx.catalog.total_nodes(),
         ctx.catalog.total_procs()
     );
+    Ok(())
 }
 
 /// Fig 1(a)(b): root-cause breakdown of failures and downtime.
-fn fig1(ctx: &Ctx, idx: &TraceIndex<'_>) {
+fn fig1(ctx: &Ctx, idx: &TraceIndex<'_>) -> Result<(), String> {
     let analysis = rootcause::analyze_indexed(idx, &ctx.catalog);
     for (label, by_downtime) in [("(a) % of failures", false), ("(b) % of downtime", true)] {
         println!("--- Fig 1{label} ---");
@@ -209,11 +212,12 @@ fn fig1(ctx: &Ctx, idx: &TraceIndex<'_>) {
     for (cause, frac) in rootcause::detailed_fractions(&ctx.site).into_iter().take(6) {
         println!("  {cause:<18} {}", fmt_pct(frac));
     }
+    Ok(())
 }
 
 /// Fig 2(a)(b): failure rates per system, raw and per processor.
-fn fig2(ctx: &Ctx, idx: &TraceIndex<'_>) {
-    let analysis = rates::analyze_indexed(idx, &ctx.catalog).expect("rates");
+fn fig2(ctx: &Ctx, idx: &TraceIndex<'_>) -> Result<(), String> {
+    let analysis = rates::analyze_indexed(idx, &ctx.catalog).map_err(|e| format!("rate analysis: {e}"))?;
     let max_rate = analysis.per_year_range().1;
     let mut t = TextTable::new(&["sys", "hw", "fail/yr", "(a)", "fail/yr/proc", "(b)"]);
     for r in &analysis.rates {
@@ -247,12 +251,14 @@ fn fig2(ctx: &Ctx, idx: &TraceIndex<'_>) {
             analysis.rates.iter().map(|r| r.per_proc_year).collect(),
         ],
     );
+    Ok(())
 }
 
 /// Fig 3(a)(b): failures per node of system 20 and the count CDF fits.
-fn fig3(ctx: &Ctx, idx: &TraceIndex<'_>) {
+fn fig3(ctx: &Ctx, idx: &TraceIndex<'_>) -> Result<(), String> {
     let sys = SystemId::new(20);
-    let analysis = pernode::analyze_indexed(idx, &ctx.catalog, sys).expect("per-node");
+    let analysis =
+        pernode::analyze_indexed(idx, &ctx.catalog, sys).map_err(|e| format!("per-node: {e}"))?;
     println!("--- Fig 3(a): failures per node, system 20 ---");
     let max = *analysis.counts.iter().max().unwrap_or(&1) as f64;
     for (n, &c) in analysis.counts.iter().enumerate() {
@@ -295,16 +301,21 @@ fn fig3(ctx: &Ctx, idx: &TraceIndex<'_>) {
             analysis.counts.iter().map(|&c| c as f64).collect(),
         ],
     );
+    Ok(())
 }
 
 /// Fig 4(a)(b): failures per month over system lifetime.
-fn fig4(ctx: &Ctx, idx: &TraceIndex<'_>) {
+fn fig4(ctx: &Ctx, idx: &TraceIndex<'_>) -> Result<(), String> {
     for (label, sys) in [
         ("(a) system 5, type E", 5u32),
         ("(b) system 19, type G", 19),
     ] {
-        let spec = ctx.catalog.system(SystemId::new(sys)).unwrap();
-        let curve = lifetime::analyze_indexed(idx, spec).expect("curve");
+        let spec = ctx
+            .catalog
+            .system(SystemId::new(sys))
+            .map_err(|e| e.to_string())?;
+        let curve =
+            lifetime::analyze_indexed(idx, spec).map_err(|e| format!("lifetime curve: {e}"))?;
         println!("--- Fig 4{label}: failures/month vs age ---");
         let totals = curve.monthly_totals();
         let max = *totals.iter().max().unwrap_or(&1) as f64;
@@ -327,11 +338,12 @@ fn fig4(ctx: &Ctx, idx: &TraceIndex<'_>) {
             ],
         );
     }
+    Ok(())
 }
 
 /// Fig 5: failures by hour of day and day of week.
-fn fig5(ctx: &Ctx, _idx: &TraceIndex<'_>) {
-    let p = periodic::analyze(&ctx.site).expect("pattern");
+fn fig5(ctx: &Ctx, _idx: &TraceIndex<'_>) -> Result<(), String> {
+    let p = periodic::analyze(&ctx.site).map_err(|e| format!("periodic pattern: {e}"))?;
     println!("--- failures by hour of day ---");
     let max = *p.hourly.iter().max().unwrap() as f64;
     for (h, &c) in p.hourly.iter().enumerate() {
@@ -368,10 +380,11 @@ fn fig5(ctx: &Ctx, _idx: &TraceIndex<'_>) {
             p.daily.iter().map(|&c| c as f64).collect(),
         ],
     );
+    Ok(())
 }
 
 /// Fig 6: time between failures, node and system views, early and late.
-fn fig6(ctx: &Ctx, idx: &TraceIndex<'_>) {
+fn fig6(ctx: &Ctx, idx: &TraceIndex<'_>) -> Result<(), String> {
     let sys = SystemId::new(20);
     let (early, late) = tbf::paper_era_split();
     let cases = [
@@ -456,11 +469,12 @@ fn fig6(ctx: &Ctx, idx: &TraceIndex<'_>) {
             Err(e) => println!("--- Fig 6{label}: {e} ---"),
         }
     }
+    Ok(())
 }
 
 /// Table 2: repair-time statistics by root cause (minutes).
-fn table2(_ctx: &Ctx, idx: &TraceIndex<'_>) {
-    let table = repair::by_cause_indexed(idx).expect("table 2");
+fn table2(_ctx: &Ctx, idx: &TraceIndex<'_>) -> Result<(), String> {
+    let table = repair::by_cause_indexed(idx).map_err(|e| format!("repair by cause: {e}"))?;
     let mut t = TextTable::new(&["", "Unkn.", "Hum.", "Env.", "Netw.", "SW", "HW", "All"]);
     let order = [
         RootCause::Unknown,
@@ -500,12 +514,14 @@ fn table2(_ctx: &Ctx, idx: &TraceIndex<'_>) {
     println!("{}", t.render());
     println!("paper means:   398 / 163 / 572 / 247 / 369 / 342 / 355");
     println!("paper medians:  32 /  44 / 269 /  70 /  33 /  64 /  54");
+    Ok(())
 }
 
 /// Fig 7: repair-time distribution and per-system means/medians.
-fn fig7(ctx: &Ctx, idx: &TraceIndex<'_>) {
+fn fig7(ctx: &Ctx, idx: &TraceIndex<'_>) -> Result<(), String> {
     println!("--- Fig 7(a): repair-time fits (all records) ---");
-    let report = repair::fit_all_repairs_indexed(idx).expect("fits");
+    let report =
+        repair::fit_all_repairs_indexed(idx).map_err(|e| format!("repair fits: {e}"))?;
     for c in &report.candidates {
         println!(
             "  fit {:<12} NLL {:.0}  KS {:.3}",
@@ -516,7 +532,10 @@ fn fig7(ctx: &Ctx, idx: &TraceIndex<'_>) {
     }
     println!(
         "  best: {} (paper: lognormal)",
-        report.best().unwrap().family
+        report
+            .best()
+            .ok_or_else(|| "no repair fit candidate".to_string())?
+            .family
     );
 
     println!("\n--- Fig 7(b)(c): mean and median repair time per system ---");
@@ -549,10 +568,11 @@ fn fig7(ctx: &Ctx, idx: &TraceIndex<'_>) {
          (type drives repair time, size does not)",
         effect.across_all_spread, effect.max_within_type_spread
     );
+    Ok(())
 }
 
 /// Table 3: related studies.
-fn table3(_ctx: &Ctx, _idx: &TraceIndex<'_>) {
+fn table3(_ctx: &Ctx, _idx: &TraceIndex<'_>) -> Result<(), String> {
     let mut t = TextTable::new(&["study", "date", "length", "environment", "#failures"]);
     for s in related::table3() {
         t.row(&[
@@ -568,11 +588,13 @@ fn table3(_ctx: &Ctx, _idx: &TraceIndex<'_>) {
     println!("{}", t.render());
     let (lanl, largest) = related::lanl_advantage();
     println!("this data set: ~{lanl} failures vs the largest related study's {largest}");
+    Ok(())
 }
 
 /// Derived: per-system availability.
-fn availability_report(ctx: &Ctx, idx: &TraceIndex<'_>) {
-    let rows = availability::analyze_indexed(idx, &ctx.catalog).expect("availability");
+fn availability_report(ctx: &Ctx, idx: &TraceIndex<'_>) -> Result<(), String> {
+    let rows = availability::analyze_indexed(idx, &ctx.catalog)
+        .map_err(|e| format!("availability: {e}"))?;
     let mut t = TextTable::new(&["sys", "hw", "downtime (node-h)", "availability", "nines"]);
     for r in rows.iter().filter(|r| r.downtime_node_hours > 0.0) {
         t.row(&[
@@ -584,13 +606,16 @@ fn availability_report(ctx: &Ctx, idx: &TraceIndex<'_>) {
         ]);
     }
     println!("{}", t.render());
-    let site = availability::site_availability_indexed(idx, &ctx.catalog).expect("site");
+    let site = availability::site_availability_indexed(idx, &ctx.catalog)
+        .map_err(|e| format!("site availability: {e}"))?;
     println!("site-wide availability: {:.4}%", site * 100.0);
+    Ok(())
 }
 
 /// Section 5.1: failure rates by workload class.
-fn workload_report(ctx: &Ctx, idx: &TraceIndex<'_>) {
-    let a = workload::analyze_indexed(idx, &ctx.catalog).expect("workload rates");
+fn workload_report(ctx: &Ctx, idx: &TraceIndex<'_>) -> Result<(), String> {
+    let a = workload::analyze_indexed(idx, &ctx.catalog)
+        .map_err(|e| format!("workload rates: {e}"))?;
     let mut t = TextTable::new(&[
         "workload",
         "failures",
@@ -620,11 +645,12 @@ fn workload_report(ctx: &Ctx, idx: &TraceIndex<'_>) {
         "(the site-wide 'vs compute' column conflates system and workload effects; \
          the within-system multiplier isolates the workload — paper Section 5.1)"
     );
+    Ok(())
 }
 
 /// Derived: burstiness of daily failure counts.
-fn daily_report(ctx: &Ctx, _idx: &TraceIndex<'_>) {
-    let a = daily::analyze(&ctx.site).expect("daily counts");
+fn daily_report(ctx: &Ctx, _idx: &TraceIndex<'_>) -> Result<(), String> {
+    let a = daily::analyze(&ctx.site).map_err(|e| format!("daily counts: {e}"))?;
     println!(
         "days {}; mean {:.2} failures/day; dispersion index {:.2} (Poisson = 1); \
          lag-1 autocorrelation {:.2}",
@@ -649,11 +675,13 @@ fn daily_report(ctx: &Ctx, _idx: &TraceIndex<'_>) {
             a.counts.iter().map(|&c| c as f64).collect(),
         ],
     );
+    Ok(())
 }
 
 /// The Section-8 conclusions, checked programmatically.
-fn findings_report(ctx: &Ctx, idx: &TraceIndex<'_>) {
-    let result = findings::evaluate_indexed(idx, &ctx.catalog).expect("findings");
+fn findings_report(ctx: &Ctx, idx: &TraceIndex<'_>) -> Result<(), String> {
+    let result =
+        findings::evaluate_indexed(idx, &ctx.catalog).map_err(|e| format!("findings: {e}"))?;
     let mut t = TextTable::new(&["holds", "finding", "evidence"]);
     for f in &result.findings {
         t.row(&[if f.holds { "yes" } else { "NO" }, f.claim, &f.evidence]);
@@ -663,15 +691,20 @@ fn findings_report(ctx: &Ctx, idx: &TraceIndex<'_>) {
         "all Section-8 conclusions hold on this trace: {}",
         result.all_hold()
     );
+    for d in &result.degraded {
+        println!("degraded: {}: {}", d.experiment, d.cause);
+    }
+    Ok(())
 }
 
 /// Extension: the checkpoint-strategy study (see hpcfail-checkpoint).
-fn checkpoint_study(_ctx: &Ctx, _idx: &TraceIndex<'_>) {
+fn checkpoint_study(_ctx: &Ctx, _idx: &TraceIndex<'_>) -> Result<(), String> {
     use hpcfail_checkpoint::study::{run_study, StudyConfig};
     let config = StudyConfig::default_study();
     println!("60-day job, 5-min checkpoints, 4-day MTBF, mean repair 1 h; waste fractions:");
     let mut t = TextTable::new(&["weibull shape", "young", "tuned periodic", "hazard-aware"]);
-    let points = run_study(&config, &[0.5, 0.7, 0.78, 1.0, 1.5]).expect("study");
+    let points = run_study(&config, &[0.5, 0.7, 0.78, 1.0, 1.5])
+        .map_err(|e| format!("checkpoint study: {e}"))?;
     for p in &points {
         t.row(&[
             &format!("{:.2}", p.shape),
@@ -693,8 +726,9 @@ fn checkpoint_study(_ctx: &Ctx, _idx: &TraceIndex<'_>) {
     use hpcfail_stats::dist::{Exponential, Weibull};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    let tbf = Weibull::new(0.75, config.mean_tbf_secs).expect("tbf");
-    let repair = Exponential::from_mean(config.mean_repair_secs).expect("repair");
+    let tbf = Weibull::new(0.75, config.mean_tbf_secs).map_err(|e| format!("tbf dist: {e}"))?;
+    let repair =
+        Exponential::from_mean(config.mean_repair_secs).map_err(|e| format!("repair dist: {e}"))?;
     let mut t2 = TextTable::new(&["scheme", "waste"]);
     for (label, locals_per_global) in [
         ("all-global checkpoints", 1u32),
@@ -714,24 +748,26 @@ fn checkpoint_study(_ctx: &Ctx, _idx: &TraceIndex<'_>) {
         for seed in 0..reps {
             let mut rng = StdRng::seed_from_u64(seed);
             waste += simulate_two_level(&cfg, &tbf, &repair, &mut rng)
-                .expect("two-level sim")
+                .map_err(|e| format!("two-level sim: {e}"))?
                 .waste_fraction();
         }
         t2.row(&[label, &fmt_pct(waste / reps as f64)]);
     }
     println!("\ntwo-level recovery (paper ref [21]), 35% locally recoverable failures:");
     println!("{}", t2.render());
+    Ok(())
 }
 
 /// Extension: the reliability-aware scheduling study (see hpcfail-sched).
-fn sched_study(ctx: &Ctx, idx: &TraceIndex<'_>) {
+fn sched_study(ctx: &Ctx, idx: &TraceIndex<'_>) -> Result<(), String> {
     use hpcfail_sched::cluster::profiles_from_index;
     use hpcfail_sched::policy::{LeastFailureRate, LongestUptime, Policy, RandomPlacement};
     use hpcfail_sched::sim::{run_with_prior, Job, NodeTruth, SimConfig};
 
     let sys = SystemId::new(20);
-    let spec = ctx.catalog.system(sys).unwrap();
-    let profiles = profiles_from_index(idx, sys, spec.nodes(), spec.production_years()).unwrap();
+    let spec = ctx.catalog.system(sys).map_err(|e| e.to_string())?;
+    let profiles = profiles_from_index(idx, sys, spec.nodes(), spec.production_years())
+        .map_err(|e| format!("node profiles: {e}"))?;
     let nodes: Vec<NodeTruth> = profiles
         .iter()
         .map(|p| NodeTruth {
@@ -760,7 +796,8 @@ fn sched_study(ctx: &Ctx, idx: &TraceIndex<'_>) {
                 horizon_secs: 2.0 * hpcfail_records::time::YEAR as f64,
                 seed,
             };
-            let m = run_with_prior(&nodes, policy, &jobs, &config, Some(&prior)).unwrap();
+            let m = run_with_prior(&nodes, policy, &jobs, &config, Some(&prior))
+                .map_err(|e| format!("scheduler sim: {e}"))?;
             eff += m.efficiency();
             aborts += m.aborts;
         }
@@ -771,4 +808,5 @@ fn sched_study(ctx: &Ctx, idx: &TraceIndex<'_>) {
         ]);
     }
     println!("{}", t.render());
+    Ok(())
 }

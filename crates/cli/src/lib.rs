@@ -9,6 +9,7 @@
 //! hpcfail summary FILE
 //! hpcfail analyze FILE [--system ID]
 //! hpcfail findings FILE
+//! hpcfail quality FILE [--lanl] [--repair] [--out FILE]
 //! hpcfail import-lanl FILE [--out FILE]
 //! hpcfail validate [--seed N]
 //! ```
@@ -24,9 +25,10 @@ use std::path::PathBuf;
 
 use hpcfail_core::report::{fmt_num, fmt_pct, TextTable};
 use hpcfail_core::{findings, rates, repair, rootcause, tbf};
-use hpcfail_records::io::{read_csv, write_csv};
-use hpcfail_records::io_lanl::read_lanl_csv;
-use hpcfail_records::{Catalog, FailureTrace, RootCause, SystemId};
+use hpcfail_records::io::{read_csv, read_csv_lenient, write_csv};
+use hpcfail_records::io_lanl::{read_lanl_csv, read_lanl_csv_lenient};
+use hpcfail_records::quality::{audit_with_catalog, repair as repair_trace, RepairPolicy};
+use hpcfail_records::{Catalog, FailureTrace, IngestPolicy, LenientIngest, RootCause, SystemId};
 
 /// A CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -73,6 +75,11 @@ USAGE:
       Failure rates, repair statistics, and TBF fits for a trace.
   hpcfail findings FILE
       Check the paper's Section-8 conclusions against a trace.
+  hpcfail quality FILE [--lanl] [--repair] [--out FILE]
+      Ingest FILE leniently (quarantining bad rows), audit the accepted
+      records for duplicates/overlaps/window violations, and with
+      --repair apply the standard repair passes (writing the repaired
+      trace to --out when given). --lanl reads the LANL export format.
   hpcfail import-lanl FILE [--out FILE]
       Convert a LANL-style export to the native CSV format.
   hpcfail validate [--seed N]
@@ -103,6 +110,17 @@ pub enum Command {
     },
     /// `findings FILE`
     Findings(PathBuf),
+    /// `quality FILE [--lanl] [--repair] [--out FILE]`
+    Quality {
+        /// Input trace (native CSV, or LANL export with `--lanl`).
+        file: PathBuf,
+        /// Read the LANL export format instead of native CSV.
+        lanl: bool,
+        /// Apply the repair passes after the audit.
+        repair: bool,
+        /// Where to write the repaired trace (with `--repair`).
+        out: Option<PathBuf>,
+    },
     /// `import-lanl FILE [--out FILE]`
     ImportLanl {
         /// LANL-style input.
@@ -203,6 +221,24 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 _ => Err(usage_err("findings requires exactly one FILE")),
             }
         }
+        "quality" => {
+            let lanl = rest.iter().any(|a| a.as_str() == "--lanl");
+            let repair = rest.iter().any(|a| a.as_str() == "--repair");
+            let out = flag_value("--out")?.map(PathBuf::from);
+            if out.is_some() && !repair {
+                return Err(usage_err("quality --out requires --repair"));
+            }
+            let pos = positional(&["--out"]);
+            match pos.as_slice() {
+                [file] => Ok(Command::Quality {
+                    file: PathBuf::from(file.as_str()),
+                    lanl,
+                    repair,
+                    out,
+                }),
+                _ => Err(usage_err("quality requires exactly one FILE")),
+            }
+        }
         "import-lanl" => {
             let out = flag_value("--out")?
                 .map(PathBuf::from)
@@ -236,6 +272,12 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         Command::Summary(file) => summary(&load(file)?),
         Command::Analyze { file, system } => analyze(&load(file)?, *system),
         Command::Findings(file) => check_findings(&load(file)?),
+        Command::Quality {
+            file,
+            lanl,
+            repair,
+            out,
+        } => quality(file, *lanl, *repair, out.as_ref()),
         Command::ImportLanl { file, out } => import_lanl(file, out),
         Command::Validate { seed } => validate(*seed),
     }
@@ -356,6 +398,70 @@ fn check_findings(trace: &FailureTrace) -> Result<String, CliError> {
     }
     let _ = writeln!(out, "all conclusions hold: {}", result.all_hold());
     Ok(out)
+}
+
+fn quality(
+    file: &PathBuf,
+    lanl: bool,
+    apply_repair: bool,
+    out: Option<&PathBuf>,
+) -> Result<String, CliError> {
+    let input = std::fs::File::open(file)
+        .map_err(|e| run_err(format!("cannot open {}: {e}", file.display())))?;
+    let policy = if apply_repair {
+        IngestPolicy::Repair
+    } else {
+        IngestPolicy::Quarantine
+    };
+    let ingest: LenientIngest = if lanl {
+        read_lanl_csv_lenient(BufReader::new(input), policy)
+    } else {
+        read_csv_lenient(BufReader::new(input), policy)
+    }
+    .map_err(|e| run_err(format!("cannot parse {}: {e}", file.display())))?;
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "ingest: {} data rows -> {} accepted, {} quarantined, {} repaired at ingest \
+         (conserved: {})",
+        ingest.total_rows,
+        ingest.accepted(),
+        ingest.quarantine.len(),
+        ingest.repaired.len(),
+        ingest.is_conserved()
+    );
+    for (class, count) in ingest.quarantine_counts() {
+        let _ = writeln!(text, "  quarantined {class:<22} {count}");
+    }
+    for row in ingest.quarantine.iter().take(5) {
+        let _ = writeln!(text, "  line {}: {}", row.line, row.issue);
+    }
+    if ingest.quarantine.len() > 5 {
+        let _ = writeln!(text, "  ... {} more", ingest.quarantine.len() - 5);
+    }
+
+    let catalog = Catalog::lanl();
+    let report = audit_with_catalog(&ingest.trace, &catalog);
+    let _ = writeln!(text, "audit:\n{report}");
+
+    if apply_repair {
+        let outcome = repair_trace(&ingest.trace, Some(&catalog), &RepairPolicy::default());
+        let _ = writeln!(text, "repair:\n{outcome}");
+        if let Some(path) = out {
+            let output = std::fs::File::create(path)
+                .map_err(|e| run_err(format!("cannot create {}: {e}", path.display())))?;
+            write_csv(&outcome.trace, output)
+                .map_err(|e| run_err(format!("write failed: {e}")))?;
+            let _ = writeln!(
+                text,
+                "wrote {} repaired records to {}",
+                outcome.trace.len(),
+                path.display()
+            );
+        }
+    }
+    Ok(text)
 }
 
 fn import_lanl(file: &PathBuf, out: &PathBuf) -> Result<String, CliError> {
@@ -519,6 +625,79 @@ mod tests {
         assert!(text.contains("failure rates"));
         assert!(text.contains("repair times"));
         assert!(text.contains("weibull"), "{text}");
+    }
+
+    #[test]
+    fn parse_quality_flags() {
+        assert_eq!(
+            parse(&args(&["quality", "t.csv"])).unwrap(),
+            Command::Quality {
+                file: PathBuf::from("t.csv"),
+                lanl: false,
+                repair: false,
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&args(&[
+                "quality", "--lanl", "--repair", "--out", "fixed.csv", "t.csv"
+            ]))
+            .unwrap(),
+            Command::Quality {
+                file: PathBuf::from("t.csv"),
+                lanl: true,
+                repair: true,
+                out: Some(PathBuf::from("fixed.csv")),
+            }
+        );
+        // --out without --repair is a usage error, as is a missing FILE.
+        assert_eq!(
+            parse(&args(&["quality", "--out", "x.csv", "t.csv"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(parse(&args(&["quality"])).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn quality_audits_and_repairs_a_dirty_trace() {
+        let dir = std::env::temp_dir().join("hpcfail_cli_quality_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dirty.csv");
+        // One good row, an exact duplicate of it, one mangled row, one
+        // wrong-field-count row.
+        let good = "20,22,110000000,110021600,compute,memory";
+        std::fs::write(
+            &path,
+            format!("{good}\n{good}\nnot,a,row,at,all,zzz\n20,22,oops\n"),
+        )
+        .unwrap();
+
+        let text = execute(&Command::Quality {
+            file: path.clone(),
+            lanl: false,
+            repair: false,
+            out: None,
+        })
+        .unwrap();
+        assert!(text.contains("4 data rows"), "{text}");
+        assert!(text.contains("conserved: true"), "{text}");
+        assert!(text.contains("wrong-field-count"), "{text}");
+        assert!(text.contains("exact-duplicate"), "{text}");
+
+        let fixed = dir.join("fixed.csv");
+        let text = execute(&Command::Quality {
+            file: path,
+            lanl: false,
+            repair: true,
+            out: Some(fixed.clone()),
+        })
+        .unwrap();
+        assert!(text.contains("repair:"), "{text}");
+        assert!(text.contains("wrote 1 repaired records"), "{text}");
+        let repaired = execute(&Command::Summary(fixed)).unwrap();
+        assert!(repaired.contains("records: 1"), "{repaired}");
     }
 
     #[test]

@@ -24,11 +24,26 @@ pub struct Finding {
     pub evidence: String,
 }
 
+/// A sub-analysis that failed during evaluation.
+///
+/// Rather than aborting the whole summary, [`evaluate`] records the
+/// failure here and marks the affected findings as not evaluable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degraded {
+    /// Which sub-analysis failed (e.g. "rates").
+    pub experiment: &'static str,
+    /// The rendered error.
+    pub cause: String,
+}
+
 /// The full Section-8 summary over one trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Findings {
     /// Individual conclusions, in the paper's order.
     pub findings: Vec<Finding>,
+    /// Sub-analyses that failed; their findings are present but marked
+    /// not evaluable (`holds == false`).
+    pub degraded: Vec<Degraded>,
 }
 
 impl Findings {
@@ -37,9 +52,25 @@ impl Findings {
         self.findings.iter().all(|f| f.holds)
     }
 
+    /// Whether any sub-analysis failed to run.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
+    }
+
     /// Look up one finding by id.
     pub fn get(&self, id: &str) -> Option<&Finding> {
         self.findings.iter().find(|f| f.id == id)
+    }
+}
+
+/// A finding whose sub-analysis failed: present, not holding, with the
+/// error as evidence.
+fn not_evaluable(id: &'static str, claim: &'static str, cause: &str) -> Finding {
+    Finding {
+        id,
+        claim,
+        holds: false,
+        evidence: format!("not evaluable: {cause}"),
     }
 }
 
@@ -49,10 +80,15 @@ impl Findings {
 /// example); a trace without enough system-20 data records those findings
 /// as not holding rather than erroring.
 ///
+/// A failing sub-analysis (e.g. an empty trace starves the rate
+/// analysis) no longer aborts the evaluation: the affected findings are
+/// reported as not evaluable and the failure is recorded in
+/// [`Findings::degraded`]. All seven findings are always present.
+///
 /// # Errors
 ///
-/// Propagates failures of the rate/repair/periodic analyses (e.g. an
-/// empty trace).
+/// Reserved for future fatal conditions; sub-analysis failures degrade
+/// instead of erroring.
 pub fn evaluate(trace: &FailureTrace, catalog: &Catalog) -> Result<Findings, AnalysisError> {
     evaluate_indexed(&trace.index(), catalog)
 }
@@ -66,37 +102,65 @@ pub fn evaluate(trace: &FailureTrace, catalog: &Catalog) -> Result<Findings, Ana
 pub fn evaluate_indexed(index: &TraceIndex<'_>, catalog: &Catalog) -> Result<Findings, AnalysisError> {
     let trace = index.trace();
     let mut findings = Vec::new();
+    let mut degraded = Vec::new();
 
     // "Failure rates vary widely across systems, 20 to >1000 per year."
-    let rate_analysis = rates::analyze_indexed(index, catalog)?;
-    let (min, max) = rate_analysis.per_year_range();
-    findings.push(Finding {
-        id: "rate-range",
-        claim: "failure rates vary widely across systems (paper: ~20 to >1000/year)",
-        holds: max / min.max(1.0) > 10.0 && max > 500.0,
-        evidence: format!("{min:.0} to {max:.0} failures/year"),
-    });
-
     // "Failure rate roughly proportional to number of processors."
-    let raw = rate_analysis.raw_variability();
-    let norm = rate_analysis.normalized_variability();
-    findings.push(Finding {
-        id: "rate-linear-in-size",
-        claim: "failure rate grows roughly linearly with processor count",
-        holds: norm < raw,
-        evidence: format!("C² across systems {raw:.2} raw vs {norm:.2} per-processor"),
-    });
+    const RATE_RANGE_CLAIM: &str =
+        "failure rates vary widely across systems (paper: ~20 to >1000/year)";
+    const RATE_LINEAR_CLAIM: &str = "failure rate grows roughly linearly with processor count";
+    match rates::analyze_indexed(index, catalog) {
+        Ok(rate_analysis) => {
+            let (min, max) = rate_analysis.per_year_range();
+            findings.push(Finding {
+                id: "rate-range",
+                claim: RATE_RANGE_CLAIM,
+                holds: max / min.max(1.0) > 10.0 && max > 500.0,
+                evidence: format!("{min:.0} to {max:.0} failures/year"),
+            });
+            let raw = rate_analysis.raw_variability();
+            let norm = rate_analysis.normalized_variability();
+            findings.push(Finding {
+                id: "rate-linear-in-size",
+                claim: RATE_LINEAR_CLAIM,
+                holds: norm < raw,
+                evidence: format!("C² across systems {raw:.2} raw vs {norm:.2} per-processor"),
+            });
+        }
+        Err(e) => {
+            let cause = e.to_string();
+            findings.push(not_evaluable("rate-range", RATE_RANGE_CLAIM, &cause));
+            findings.push(not_evaluable("rate-linear-in-size", RATE_LINEAR_CLAIM, &cause));
+            degraded.push(Degraded {
+                experiment: "rates",
+                cause,
+            });
+        }
+    }
 
     // "Correlation between failure rate and workload type/intensity."
-    let pattern = periodic::analyze(trace)?;
-    let hour = pattern.hourly_peak_to_trough();
-    let week = pattern.weekday_to_weekend();
-    findings.push(Finding {
-        id: "workload-correlation",
-        claim: "failure rate correlates with workload intensity (daily/weekly rhythm)",
-        holds: hour > 1.3 && week > 1.3,
-        evidence: format!("hourly peak/trough {hour:.2}, weekday/weekend {week:.2}"),
-    });
+    const WORKLOAD_CLAIM: &str =
+        "failure rate correlates with workload intensity (daily/weekly rhythm)";
+    match periodic::analyze(trace) {
+        Ok(pattern) => {
+            let hour = pattern.hourly_peak_to_trough();
+            let week = pattern.weekday_to_weekend();
+            findings.push(Finding {
+                id: "workload-correlation",
+                claim: WORKLOAD_CLAIM,
+                holds: hour > 1.3 && week > 1.3,
+                evidence: format!("hourly peak/trough {hour:.2}, weekday/weekend {week:.2}"),
+            });
+        }
+        Err(e) => {
+            let cause = e.to_string();
+            findings.push(not_evaluable("workload-correlation", WORKLOAD_CLAIM, &cause));
+            degraded.push(Degraded {
+                experiment: "periodic",
+                cause,
+            });
+        }
+    }
 
     // "TBF not exponential; Weibull/gamma with decreasing hazard."
     let sys20 = SystemId::new(20);
@@ -116,13 +180,19 @@ pub fn evaluate_indexed(index: &TraceIndex<'_>, catalog: &Catalog) -> Result<Fin
                 ),
             }
         }
-        Err(e) => Finding {
-            id: "weibull-tbf",
-            claim: "time between failures is Weibull/gamma with decreasing hazard, \
-                    not exponential",
-            holds: false,
-            evidence: format!("not evaluable: {e}"),
-        },
+        Err(e) => {
+            degraded.push(Degraded {
+                experiment: "tbf",
+                cause: e.to_string(),
+            });
+            Finding {
+                id: "weibull-tbf",
+                claim: "time between failures is Weibull/gamma with decreasing hazard, \
+                        not exponential",
+                holds: false,
+                evidence: format!("not evaluable: {e}"),
+            }
+        }
     };
     findings.push(tbf_finding);
 
@@ -142,20 +212,33 @@ pub fn evaluate_indexed(index: &TraceIndex<'_>, catalog: &Catalog) -> Result<Fin
     });
 
     // "Repair times lognormal, extremely variable."
-    let fit = repair::fit_all_repairs_indexed(index)?;
-    let lognormal_best = fit.best().map(|c| c.family) == Some(Family::LogNormal);
-    let table = repair::by_cause_indexed(index)?;
-    findings.push(Finding {
-        id: "lognormal-repair",
-        claim: "repair times are better modeled by a lognormal than an exponential \
-                and are extremely variable",
-        holds: lognormal_best && table.all.summary.c2 > 3.0,
-        evidence: format!(
-            "best fit {:?}, aggregate C² {:.1}",
-            fit.best().map(|c| c.family),
-            table.all.summary.c2
-        ),
-    });
+    const LOGNORMAL_CLAIM: &str = "repair times are better modeled by a lognormal than an \
+                                   exponential and are extremely variable";
+    let repair_result = repair::fit_all_repairs_indexed(index)
+        .and_then(|fit| Ok((fit, repair::by_cause_indexed(index)?)));
+    match repair_result {
+        Ok((fit, table)) => {
+            let lognormal_best = fit.best().map(|c| c.family) == Some(Family::LogNormal);
+            findings.push(Finding {
+                id: "lognormal-repair",
+                claim: LOGNORMAL_CLAIM,
+                holds: lognormal_best && table.all.summary.c2 > 3.0,
+                evidence: format!(
+                    "best fit {:?}, aggregate C² {:.1}",
+                    fit.best().map(|c| c.family),
+                    table.all.summary.c2
+                ),
+            });
+        }
+        Err(e) => {
+            let cause = e.to_string();
+            findings.push(not_evaluable("lognormal-repair", LOGNORMAL_CLAIM, &cause));
+            degraded.push(Degraded {
+                experiment: "repair",
+                cause,
+            });
+        }
+    }
 
     // "Hardware and software are the largest contributors."
     let breakdown = rootcause::CauseBreakdown::from_view(&index.all());
@@ -168,7 +251,7 @@ pub fn evaluate_indexed(index: &TraceIndex<'_>, catalog: &Catalog) -> Result<Fin
         evidence: format!("hardware {:.0}%, software {:.0}%", hw * 100.0, sw * 100.0),
     });
 
-    Ok(Findings { findings })
+    Ok(Findings { findings, degraded })
 }
 
 #[cfg(test)]
@@ -185,8 +268,38 @@ mod tests {
             assert!(f.holds, "{}: {}", f.id, f.evidence);
         }
         assert!(findings.all_hold());
+        assert!(!findings.is_degraded(), "{:?}", findings.degraded);
         assert!(findings.get("weibull-tbf").is_some());
         assert!(findings.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn failed_sub_analyses_degrade_instead_of_erroring() {
+        // A trace too small for any analysis: evaluation must still
+        // return all seven findings, with the starved ones marked not
+        // evaluable and the failures recorded.
+        use hpcfail_records::{DetailedCause, FailureRecord, NodeId, Timestamp, Workload};
+        let catalog = Catalog::lanl();
+        let at = Timestamp::from_civil(2003, 5, 1, 12, 0, 0).unwrap();
+        let rec = FailureRecord::new(
+            SystemId::new(20),
+            NodeId::new(0),
+            at,
+            at + 3_600,
+            Workload::Compute,
+            DetailedCause::Memory,
+        )
+        .unwrap();
+        let trace = FailureTrace::from_records(vec![rec]);
+        let findings = evaluate(&trace, &catalog).unwrap();
+        assert_eq!(findings.findings.len(), 7);
+        assert!(findings.is_degraded());
+        assert!(!findings.all_hold());
+        let tbf = findings.get("weibull-tbf").unwrap();
+        assert!(tbf.evidence.contains("not evaluable"), "{}", tbf.evidence);
+        for d in &findings.degraded {
+            assert!(!d.cause.is_empty(), "{}: empty cause", d.experiment);
+        }
     }
 
     #[test]

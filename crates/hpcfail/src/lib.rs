@@ -36,8 +36,10 @@ pub mod prelude {
     pub use hpcfail_core::AnalysisError;
     pub use hpcfail_exec::{ParallelExecutor, SeedSequence};
     pub use hpcfail_records::{
-        Catalog, CauseTotals, DetailedCause, FailureRecord, FailureTrace, HardwareType, NodeId,
-        RecordError, RootCause, SystemId, Timestamp, TraceIndex, TraceView, Workload,
+        Catalog, CauseTotals, CorruptionPlan, Corruptor, DetailedCause, FailureRecord,
+        FailureTrace, FaultMix, HardwareType, IngestPolicy, LenientIngest, NodeId, QualityIssue,
+        QualityReport, RecordError, RepairOutcome, RepairPolicy, RootCause, SystemId, Timestamp,
+        TraceIndex, TraceView, Workload,
     };
     pub use hpcfail_stats::dist::{
         Continuous, Discrete, Exponential, Gamma, LogNormal, Normal, Pareto, Poisson, Weibull,

@@ -1,0 +1,405 @@
+//! Deterministic fault injection for ingest robustness testing.
+//!
+//! A [`Corruptor`] takes a clean CSV (or a [`FailureTrace`] it first
+//! serializes) and mutates it with a configurable mix of the faults real
+//! operator-entered logs exhibit: mangled fields, duplicated rows,
+//! truncated lines, BOM/CRLF/encoding junk, inverted and skewed
+//! timestamps, shuffled row order, and mid-file truncation.
+//!
+//! Every mutation is drawn from SplitMix64 seed streams (the same
+//! [`hpcfail_exec::SeedSequence`] derivation the parallel executor
+//! uses), so a corruption is exactly replayable from its
+//! [`CorruptionPlan`] — the robustness harness prints the plan on any
+//! failure and re-running with the same plan reproduces the input
+//! byte-for-byte.
+
+use std::fmt;
+
+use hpcfail_exec::SeedSequence;
+
+use crate::io::{is_header, write_csv};
+use crate::trace::FailureTrace;
+
+/// Garbage substituted into mangled fields — the kinds of junk that show
+/// up in hand-edited spreadsheets.
+const GARBAGE: [&str; 7] = ["", "???", "-1", "NaN", "18446744073709551617", "gremlins", "0x1f"];
+
+/// Valid-UTF-8 encoding junk inserted by the `EncodingJunk` fault.
+const JUNK: [&str; 4] = ["\u{feff}", "\r", "\u{fffd}", "caf\u{e9}"];
+
+/// One row-level fault kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Replace one field with garbage text.
+    MangleField,
+    /// Emit the row twice.
+    DuplicateRow,
+    /// Cut the line at a random character boundary.
+    TruncateLine,
+    /// Prepend/append BOM, stray `\r`, or other valid-UTF-8 junk.
+    EncodingJunk,
+    /// Swap the start and end timestamp fields.
+    InvertTimestamps,
+    /// Shift one timestamp field by a random offset.
+    SkewTimestamp,
+}
+
+/// Relative weights of the row-level faults. A weight of zero disables
+/// that fault kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultMix {
+    /// Weight of [`Fault::MangleField`].
+    pub mangle_field: u32,
+    /// Weight of [`Fault::DuplicateRow`].
+    pub duplicate_row: u32,
+    /// Weight of [`Fault::TruncateLine`].
+    pub truncate_line: u32,
+    /// Weight of [`Fault::EncodingJunk`].
+    pub encoding_junk: u32,
+    /// Weight of [`Fault::InvertTimestamps`].
+    pub invert_timestamps: u32,
+    /// Weight of [`Fault::SkewTimestamp`].
+    pub skew_timestamp: u32,
+}
+
+impl FaultMix {
+    /// All fault kinds equally likely.
+    pub fn uniform() -> Self {
+        FaultMix {
+            mangle_field: 1,
+            duplicate_row: 1,
+            truncate_line: 1,
+            encoding_junk: 1,
+            invert_timestamps: 1,
+            skew_timestamp: 1,
+        }
+    }
+
+    fn weighted(&self) -> [(Fault, u32); 6] {
+        [
+            (Fault::MangleField, self.mangle_field),
+            (Fault::DuplicateRow, self.duplicate_row),
+            (Fault::TruncateLine, self.truncate_line),
+            (Fault::EncodingJunk, self.encoding_junk),
+            (Fault::InvertTimestamps, self.invert_timestamps),
+            (Fault::SkewTimestamp, self.skew_timestamp),
+        ]
+    }
+
+    /// Sum of all weights.
+    pub fn total_weight(&self) -> u64 {
+        self.weighted().iter().map(|&(_, w)| w as u64).sum()
+    }
+}
+
+impl Default for FaultMix {
+    fn default() -> Self {
+        FaultMix::uniform()
+    }
+}
+
+/// A complete, replayable description of one corruption: the seed, the
+/// per-row fault probability, the fault mix, and the file-level
+/// mutations. `(seed, plan)` fully determines the corrupted output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionPlan {
+    /// Root seed for all randomness.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that any given data row receives a fault.
+    pub rate: f64,
+    /// Relative weights of the row-level fault kinds.
+    pub mix: FaultMix,
+    /// Shuffle the data rows (Fisher–Yates, seeded).
+    pub shuffle_rows: bool,
+    /// Cut the file mid-stream: drop a random tail of the data rows and
+    /// chop the last surviving row in half.
+    pub truncate_file: bool,
+}
+
+impl CorruptionPlan {
+    /// A plan with the uniform mix, no shuffling, and no file
+    /// truncation — the common starting point.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        CorruptionPlan {
+            seed,
+            rate,
+            mix: FaultMix::uniform(),
+            shuffle_rows: false,
+            truncate_file: false,
+        }
+    }
+}
+
+impl fmt::Display for CorruptionPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={} rate={} mix=[mangle:{} dup:{} trunc:{} junk:{} invert:{} skew:{}] shuffle={} truncate_file={}",
+            self.seed,
+            self.rate,
+            self.mix.mangle_field,
+            self.mix.duplicate_row,
+            self.mix.truncate_line,
+            self.mix.encoding_junk,
+            self.mix.invert_timestamps,
+            self.mix.skew_timestamp,
+            self.shuffle_rows,
+            self.truncate_file,
+        )
+    }
+}
+
+/// Applies a [`CorruptionPlan`] to clean CSV text. Stateless between
+/// calls: corrupting the same input with the same plan always yields the
+/// same output.
+#[derive(Debug, Clone, Copy)]
+pub struct Corruptor {
+    plan: CorruptionPlan,
+}
+
+/// Map a SplitMix64 output to a uniform `f64` in `[0, 1)`.
+fn unit(v: u64) -> f64 {
+    (v >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Corruptor {
+    /// A corruptor executing `plan`.
+    pub fn new(plan: CorruptionPlan) -> Self {
+        Corruptor { plan }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &CorruptionPlan {
+        &self.plan
+    }
+
+    /// Serialize `trace` with [`write_csv`] and corrupt the result.
+    pub fn corrupt_trace(&self, trace: &FailureTrace) -> String {
+        let mut buf = Vec::new();
+        write_csv(trace, &mut buf).expect("writing to a Vec cannot fail");
+        let clean = String::from_utf8(buf).expect("write_csv emits UTF-8");
+        self.corrupt_csv(&clean)
+    }
+
+    /// Corrupt CSV text. Header and comment lines pass through; each
+    /// data row independently receives a fault with probability
+    /// `plan.rate`; then the file-level mutations (shuffle, mid-file
+    /// truncation) apply.
+    pub fn corrupt_csv(&self, clean: &str) -> String {
+        // Child 0 seeds the per-row faults, child 1 the file-level ones,
+        // so adding rows never perturbs the file-level draws.
+        let seq = SeedSequence::new(self.plan.seed);
+        let row_space = seq.child(0);
+        let file_space = seq.child(1);
+
+        let mut preserved: Vec<String> = Vec::new(); // header/comments, kept in place
+        let mut rows: Vec<String> = Vec::new();
+        let mut row_index = 0u64;
+        for line in clean.lines() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') || is_header(trimmed) {
+                if rows.is_empty() {
+                    preserved.push(line.to_string());
+                }
+                continue;
+            }
+            let stream = row_space.child(row_index);
+            row_index += 1;
+            if unit(stream.stream(0)) < self.plan.rate {
+                self.apply_fault(line, &stream, &mut rows);
+            } else {
+                rows.push(line.to_string());
+            }
+        }
+
+        if self.plan.shuffle_rows {
+            // Fisher–Yates with one stream per position.
+            let shuffle = file_space.child(0);
+            for i in (1..rows.len()).rev() {
+                let j = (shuffle.stream(i as u64) % (i as u64 + 1)) as usize;
+                rows.swap(i, j);
+            }
+        }
+        if self.plan.truncate_file && !rows.is_empty() {
+            let cut = file_space.child(1);
+            let keep = 1 + (cut.stream(0) % rows.len() as u64) as usize;
+            rows.truncate(keep);
+            let last = rows.pop().expect("keep >= 1");
+            rows.push(truncate_at_char(&last, cut.stream(1)));
+        }
+
+        let mut out = preserved;
+        out.extend(rows);
+        let mut text = out.join("\n");
+        text.push('\n');
+        text
+    }
+
+    fn apply_fault(&self, line: &str, stream: &SeedSequence, out: &mut Vec<String>) {
+        let total = self.plan.mix.total_weight();
+        if total == 0 {
+            out.push(line.to_string());
+            return;
+        }
+        let mut pick = stream.stream(1) % total;
+        let mut fault = Fault::MangleField;
+        for (f, w) in self.plan.mix.weighted() {
+            if pick < w as u64 {
+                fault = f;
+                break;
+            }
+            pick -= w as u64;
+        }
+        match fault {
+            Fault::MangleField => {
+                let mut fields: Vec<String> = line.split(',').map(str::to_string).collect();
+                let idx = (stream.stream(2) % fields.len() as u64) as usize;
+                let garbage = GARBAGE[(stream.stream(3) % GARBAGE.len() as u64) as usize];
+                fields[idx] = garbage.to_string();
+                out.push(fields.join(","));
+            }
+            Fault::DuplicateRow => {
+                out.push(line.to_string());
+                out.push(line.to_string());
+            }
+            Fault::TruncateLine => {
+                out.push(truncate_at_char(line, stream.stream(2)));
+            }
+            Fault::EncodingJunk => {
+                let junk = JUNK[(stream.stream(2) % JUNK.len() as u64) as usize];
+                if stream.stream(3) % 2 == 0 {
+                    out.push(format!("{junk}{line}"));
+                } else {
+                    out.push(format!("{line}{junk}"));
+                }
+            }
+            Fault::InvertTimestamps => {
+                let mut fields: Vec<&str> = line.split(',').collect();
+                if fields.len() >= 4 {
+                    fields.swap(2, 3);
+                }
+                out.push(fields.join(","));
+            }
+            Fault::SkewTimestamp => {
+                let mut fields: Vec<String> = line.split(',').map(str::to_string).collect();
+                if fields.len() >= 4 {
+                    let idx = 2 + (stream.stream(2) % 2) as usize;
+                    if let Ok(v) = fields[idx].trim().parse::<u64>() {
+                        let offset = (stream.stream(3) % 10_000) as i64 - 5_000;
+                        fields[idx] = v.saturating_add_signed(offset).to_string();
+                    }
+                }
+                out.push(fields.join(","));
+            }
+        }
+    }
+}
+
+/// Cut `line` at a seeded character boundary (never mid-UTF-8).
+fn truncate_at_char(line: &str, draw: u64) -> String {
+    let boundaries: Vec<usize> = line
+        .char_indices()
+        .map(|(i, _)| i)
+        .chain(std::iter::once(line.len()))
+        .collect();
+    let cut = boundaries[(draw % boundaries.len() as u64) as usize];
+    line[..cut].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cause::DetailedCause;
+    use crate::ids::{NodeId, SystemId};
+    use crate::record::FailureRecord;
+    use crate::time::Timestamp;
+    use crate::workload::Workload;
+
+    fn sample_trace(n: u64) -> FailureTrace {
+        FailureTrace::from_records(
+            (0..n)
+                .map(|i| {
+                    FailureRecord::new(
+                        SystemId::new(20),
+                        NodeId::new((i % 5) as u32),
+                        Timestamp::from_secs(1_000 + i * 600),
+                        Timestamp::from_secs(1_000 + i * 600 + 60),
+                        Workload::Compute,
+                        DetailedCause::Memory,
+                    )
+                    .unwrap()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn same_plan_same_output() {
+        let trace = sample_trace(50);
+        let plan = CorruptionPlan {
+            shuffle_rows: true,
+            truncate_file: true,
+            ..CorruptionPlan::new(42, 0.7)
+        };
+        let a = Corruptor::new(plan).corrupt_trace(&trace);
+        let b = Corruptor::new(plan).corrupt_trace(&trace);
+        assert_eq!(a, b, "corruption must be replayable from (seed, plan)");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let trace = sample_trace(50);
+        let a = Corruptor::new(CorruptionPlan::new(1, 0.8)).corrupt_trace(&trace);
+        let b = Corruptor::new(CorruptionPlan::new(2, 0.8)).corrupt_trace(&trace);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rate_zero_is_identity_on_rows() {
+        let trace = sample_trace(20);
+        let mut buf = Vec::new();
+        write_csv(&trace, &mut buf).unwrap();
+        let clean = String::from_utf8(buf).unwrap();
+        let out = Corruptor::new(CorruptionPlan::new(7, 0.0)).corrupt_csv(&clean);
+        assert_eq!(out, clean);
+    }
+
+    #[test]
+    fn rate_one_faults_every_row() {
+        let trace = sample_trace(30);
+        let mut buf = Vec::new();
+        write_csv(&trace, &mut buf).unwrap();
+        let clean = String::from_utf8(buf).unwrap();
+        let out = Corruptor::new(CorruptionPlan::new(11, 1.0)).corrupt_csv(&clean);
+        assert_ne!(out, clean);
+    }
+
+    #[test]
+    fn truncation_keeps_a_prefix() {
+        let plan = CorruptionPlan {
+            truncate_file: true,
+            ..CorruptionPlan::new(3, 0.0)
+        };
+        let trace = sample_trace(40);
+        let out = Corruptor::new(plan).corrupt_trace(&trace);
+        assert!(out.lines().count() <= 41, "header + at most 40 rows");
+        assert!(out.lines().count() >= 2, "keeps at least one (partial) row");
+    }
+
+    #[test]
+    fn truncate_at_char_respects_boundaries() {
+        let s = "caf\u{e9},mem\u{f3}ria";
+        for draw in 0..64 {
+            let t = truncate_at_char(s, draw);
+            assert!(s.starts_with(&t));
+        }
+    }
+
+    #[test]
+    fn plan_display_is_replayable_documentation() {
+        let plan = CorruptionPlan::new(99, 0.25);
+        let text = plan.to_string();
+        assert!(text.contains("seed=99"), "{text}");
+        assert!(text.contains("rate=0.25"), "{text}");
+    }
+}

@@ -18,6 +18,9 @@ use std::io::{BufRead, Write};
 use crate::cause::DetailedCause;
 use crate::error::RecordError;
 use crate::ids::{NodeId, SystemId};
+use crate::quality::{
+    IngestPolicy, LenientIngest, QualityIssue, QuarantinedRow, RepairedRow,
+};
 use crate::record::FailureRecord;
 use crate::time::Timestamp;
 use crate::trace::FailureTrace;
@@ -27,6 +30,27 @@ use crate::workload::Workload;
 pub const CSV_HEADER: &str = "system,node,start_secs,end_secs,workload,detailed_cause";
 
 const FIELDS: usize = 6;
+
+/// Strip a leading UTF-8 byte-order mark (exported spreadsheets often
+/// carry one).
+pub(crate) fn strip_bom(line: &str) -> &str {
+    line.strip_prefix('\u{feff}').unwrap_or(line)
+}
+
+/// Whether a line is the CSV header: either the legacy `system,` prefix
+/// or a field-wise, case-insensitive match of [`CSV_HEADER`] with
+/// arbitrary spacing around the field names.
+pub fn is_header(line: &str) -> bool {
+    if line.starts_with("system,") {
+        return true;
+    }
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    fields.len() == FIELDS
+        && fields
+            .iter()
+            .zip(CSV_HEADER.split(','))
+            .all(|(got, want)| got.eq_ignore_ascii_case(want))
+}
 
 /// Parse one CSV line into a record. `line_no` is 1-based for error
 /// reporting.
@@ -91,27 +115,195 @@ pub fn format_line(record: &FailureRecord) -> String {
     )
 }
 
-/// Read a whole trace from a CSV reader.
+/// Read a whole trace from a CSV reader, aborting on the first bad row.
+///
+/// A thin wrapper over [`read_csv_lenient`] with
+/// [`IngestPolicy::FailFast`].
 ///
 /// # Errors
 ///
 /// Propagates the first malformed line; I/O failures are surfaced as
 /// [`RecordError::MalformedLine`] with the I/O message.
 pub fn read_csv<R: BufRead>(reader: R) -> Result<FailureTrace, RecordError> {
+    read_csv_lenient(reader, IngestPolicy::FailFast).map(|ingest| ingest.trace)
+}
+
+/// Read a trace under an [`IngestPolicy`].
+///
+/// With [`IngestPolicy::Quarantine`] and [`IngestPolicy::Repair`] bad
+/// rows never abort the read: they land in the returned quarantine with
+/// their line number, raw text, [`QualityIssue`], and severity, and
+/// `accepted + quarantined == total_rows` always holds
+/// ([`LenientIngest::is_conserved`]). [`IngestPolicy::Repair`]
+/// additionally rewrites rows whose defect has an unambiguous fix —
+/// extra empty trailing fields, an unknown cause word (mapped to
+/// `undetermined`), inverted timestamps (swapped) — and records each fix.
+///
+/// # Errors
+///
+/// Only under [`IngestPolicy::FailFast`], with exactly the errors
+/// [`read_csv`] historically produced.
+pub fn read_csv_lenient<R: BufRead>(
+    reader: R,
+    policy: IngestPolicy,
+) -> Result<LenientIngest, RecordError> {
     let mut records = Vec::new();
+    let mut quarantine = Vec::new();
+    let mut repaired = Vec::new();
+    let mut total_rows = 0usize;
+    let mut zero_width = 0usize;
     for (i, line) in reader.lines().enumerate() {
         let line_no = i + 1;
-        let line = line.map_err(|e| RecordError::MalformedLine {
-            line: line_no,
-            reason: format!("io error: {e}"),
-        })?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with("system,") {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                if policy == IngestPolicy::FailFast {
+                    return Err(RecordError::MalformedLine {
+                        line: line_no,
+                        reason: format!("io error: {e}"),
+                    });
+                }
+                total_rows += 1;
+                let issue = QualityIssue::Unreadable {
+                    reason: e.to_string(),
+                };
+                quarantine.push(QuarantinedRow {
+                    line: line_no,
+                    raw: String::new(),
+                    severity: issue.severity(),
+                    issue,
+                });
+                continue;
+            }
+        };
+        let trimmed = strip_bom(&line).trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || is_header(trimmed) {
             continue;
         }
-        records.push(parse_line(trimmed, line_no)?);
+        total_rows += 1;
+        match parse_line(trimmed, line_no) {
+            Ok(record) => {
+                if record.downtime_secs() == 0 {
+                    zero_width += 1;
+                }
+                records.push(record);
+            }
+            Err(err) => {
+                let issue = classify_failure(trimmed, &err);
+                match policy {
+                    IngestPolicy::FailFast => return Err(err),
+                    IngestPolicy::Quarantine => quarantine.push(QuarantinedRow {
+                        line: line_no,
+                        raw: trimmed.to_string(),
+                        severity: issue.severity(),
+                        issue,
+                    }),
+                    IngestPolicy::Repair => match attempt_repair(trimmed, line_no) {
+                        Some((record, issue)) => {
+                            if record.downtime_secs() == 0 {
+                                zero_width += 1;
+                            }
+                            records.push(record);
+                            repaired.push(RepairedRow {
+                                line: line_no,
+                                issue,
+                            });
+                        }
+                        None => quarantine.push(QuarantinedRow {
+                            line: line_no,
+                            raw: trimmed.to_string(),
+                            severity: issue.severity(),
+                            issue,
+                        }),
+                    },
+                }
+            }
+        }
     }
-    Ok(FailureTrace::from_records(records))
+    Ok(LenientIngest {
+        trace: FailureTrace::from_records(records),
+        quarantine,
+        repaired,
+        total_rows,
+        zero_width,
+    })
+}
+
+/// Classify why `parse_line` rejected a line, mirroring its field order
+/// (system, node, start, end, workload, cause, then the interval check).
+fn classify_failure(line: &str, err: &RecordError) -> QualityIssue {
+    if let RecordError::WrongFieldCount { expected, got, .. } = err {
+        return QualityIssue::WrongFieldCount {
+            expected: *expected,
+            got: *got,
+        };
+    }
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    if fields.len() == FIELDS
+        && fields[0].parse::<SystemId>().is_ok()
+        && fields[1].parse::<NodeId>().is_ok()
+        && fields[2].parse::<u64>().is_ok()
+        && fields[3].parse::<u64>().is_ok()
+        && fields[4].parse::<Workload>().is_ok()
+    {
+        if fields[5].parse::<DetailedCause>().is_err() {
+            return QualityIssue::VocabularyDrift {
+                raw: fields[5].to_string(),
+            };
+        }
+        // Every field parsed and parse_line still failed: the only check
+        // left is end >= start.
+        return QualityIssue::InvertedInterval;
+    }
+    QualityIssue::MalformedField {
+        reason: err.to_string(),
+    }
+}
+
+/// Apply the unambiguous line repairs (truncate empty trailing fields,
+/// map an unknown cause to `undetermined`, swap inverted timestamps)
+/// until the line parses or no repair applies. Returns the record plus
+/// the first issue repaired.
+fn attempt_repair(line: &str, line_no: usize) -> Option<(FailureRecord, QualityIssue)> {
+    let mut current = line.to_string();
+    let mut first_issue: Option<QualityIssue> = None;
+    // Each repair class applies at most once, so 3 rewrites + a final
+    // parse bound the loop.
+    for _ in 0..4 {
+        let err = match parse_line(&current, line_no) {
+            Ok(record) => return first_issue.map(|issue| (record, issue)),
+            Err(e) => e,
+        };
+        let issue = classify_failure(&current, &err);
+        let mut fields: Vec<String> = current.split(',').map(|f| f.trim().to_string()).collect();
+        let rewritten = match &issue {
+            QualityIssue::WrongFieldCount { expected, got }
+                if *got > *expected && fields[FIELDS..].iter().all(|f| f.is_empty()) =>
+            {
+                fields.truncate(FIELDS);
+                Some(fields.join(","))
+            }
+            QualityIssue::VocabularyDrift { .. } => {
+                fields[FIELDS - 1] = "undetermined".to_string();
+                Some(fields.join(","))
+            }
+            QualityIssue::InvertedInterval => {
+                fields.swap(2, 3);
+                Some(fields.join(","))
+            }
+            _ => None,
+        };
+        match rewritten {
+            Some(next) => {
+                if first_issue.is_none() {
+                    first_issue = Some(issue);
+                }
+                current = next;
+            }
+            None => return None,
+        }
+    }
+    None
 }
 
 /// Write a whole trace (with header) to a CSV writer.
@@ -229,6 +421,145 @@ system,node,start_secs,end_secs,workload,detailed_cause
             let line = format_line(r);
             let parsed = parse_line(&line, i + 1).unwrap();
             assert_eq!(&parsed, r);
+        }
+    }
+
+    #[test]
+    fn bom_and_crlf_tolerated() {
+        let text = "\u{feff}system,node,start_secs,end_secs,workload,detailed_cause\r\n\
+                    20,22,1000,22600,compute,memory\r\n\
+                    5,0,2000,3000,compute,scheduler\r\n";
+        let t = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t, sample());
+        // A BOM directly on a data line is also stripped.
+        let data_bom = "\u{feff}20,22,1000,22600,compute,memory\n";
+        assert_eq!(read_csv(data_bom.as_bytes()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn header_detected_case_insensitively_with_spacing() {
+        assert!(is_header("system,node,start_secs,end_secs,workload,detailed_cause"));
+        assert!(is_header("SYSTEM, Node, Start_Secs, End_Secs, WORKLOAD, Detailed_Cause"));
+        assert!(is_header("system,anything")); // legacy prefix rule
+        assert!(!is_header("20,22,1000,22600,compute,memory"));
+        assert!(!is_header("system node start"));
+        let text = "System, Node, Start_secs, End_secs, Workload, Detailed_cause\n\
+                    20,22,1000,22600,compute,memory\n";
+        assert_eq!(read_csv(text.as_bytes()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn lenient_quarantine_conserves_rows() {
+        let text = "\
+system,node,start_secs,end_secs,workload,detailed_cause
+20,22,1000,22600,compute,memory
+20,22,1000,22600,compute
+20,22,notanumber,22600,compute,memory
+20,22,5000,4000,compute,memory
+20,22,1000,22600,compute,gremlins
+5,0,2000,3000,compute,scheduler
+";
+        let ingest = read_csv_lenient(text.as_bytes(), IngestPolicy::Quarantine).unwrap();
+        assert_eq!(ingest.total_rows, 6);
+        assert_eq!(ingest.accepted(), 2);
+        assert_eq!(ingest.quarantine.len(), 4);
+        assert!(ingest.is_conserved());
+        assert!(ingest.repaired.is_empty());
+        let classes: Vec<&str> = ingest.quarantine.iter().map(|q| q.issue.class()).collect();
+        assert_eq!(
+            classes,
+            vec![
+                "wrong-field-count",
+                "malformed-field",
+                "inverted-interval",
+                "vocabulary-drift"
+            ]
+        );
+        // Quarantined rows keep their source positions and raw text.
+        assert_eq!(ingest.quarantine[0].line, 3);
+        assert_eq!(ingest.quarantine[2].raw, "20,22,5000,4000,compute,memory");
+        let counts = ingest.quarantine_counts();
+        assert_eq!(counts.len(), 4);
+        assert!(counts.iter().all(|&(_, n)| n == 1));
+    }
+
+    #[test]
+    fn lenient_repair_fixes_unambiguous_defects() {
+        let text = "\
+20,22,5000,4000,compute,memory
+20,22,1000,22600,compute,gremlins
+20,22,1000,22600,compute,memory,,
+20,22,##,22600,compute,memory
+";
+        let ingest = read_csv_lenient(text.as_bytes(), IngestPolicy::Repair).unwrap();
+        assert_eq!(ingest.total_rows, 4);
+        assert_eq!(ingest.accepted(), 3);
+        assert_eq!(ingest.quarantine.len(), 1);
+        assert!(ingest.is_conserved());
+        assert_eq!(ingest.repaired.len(), 3);
+        assert_eq!(ingest.repaired[0].issue, QualityIssue::InvertedInterval);
+        assert!(matches!(
+            ingest.repaired[1].issue,
+            QualityIssue::VocabularyDrift { .. }
+        ));
+        assert!(matches!(
+            ingest.repaired[2].issue,
+            QualityIssue::WrongFieldCount { expected: 6, got: 8 }
+        ));
+        // The inverted row came back with its endpoints swapped.
+        let fixed = ingest
+            .trace
+            .iter()
+            .find(|r| r.start().as_secs() == 4000)
+            .unwrap();
+        assert_eq!(fixed.end().as_secs(), 5000);
+        // The drift row maps to undetermined.
+        assert!(ingest
+            .trace
+            .iter()
+            .any(|r| r.detail() == DetailedCause::Undetermined));
+        // The truly malformed row stays quarantined.
+        assert_eq!(ingest.quarantine[0].issue.class(), "malformed-field");
+    }
+
+    #[test]
+    fn failfast_matches_strict_errors() {
+        let missing = "20,22,1000,22600,compute";
+        match read_csv_lenient(missing.as_bytes(), IngestPolicy::FailFast) {
+            Err(RecordError::WrongFieldCount {
+                line: 1,
+                expected: 6,
+                got: 5,
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_counts_zero_width_rows() {
+        let text = "20,22,1000,1000,compute,memory\n20,22,2000,3000,compute,memory\n";
+        let ingest = read_csv_lenient(text.as_bytes(), IngestPolicy::Quarantine).unwrap();
+        assert_eq!(ingest.zero_width, 1);
+        assert_eq!(ingest.accepted(), 2);
+    }
+
+    #[test]
+    fn strict_and_lenient_agree_on_clean_input() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let strict = read_csv(buf.as_slice()).unwrap();
+        for policy in [
+            IngestPolicy::FailFast,
+            IngestPolicy::Quarantine,
+            IngestPolicy::Repair,
+        ] {
+            let lenient = read_csv_lenient(buf.as_slice(), policy).unwrap();
+            assert_eq!(lenient.trace, strict);
+            assert!(lenient.quarantine.is_empty());
+            assert!(lenient.repaired.is_empty());
+            assert!(lenient.is_conserved());
         }
     }
 }

@@ -21,33 +21,73 @@
 //! defaults to `compute`).
 
 use std::collections::HashMap;
+use std::fmt;
 use std::io::BufRead;
 
 use crate::cause::DetailedCause;
 use crate::error::RecordError;
 use crate::ids::{NodeId, SystemId};
+use crate::io::strip_bom;
+use crate::quality::{
+    IngestPolicy, LenientIngest, QualityIssue, QuarantinedRow, RepairedRow,
+};
 use crate::record::FailureRecord;
 use crate::time::Timestamp;
 use crate::trace::FailureTrace;
 use crate::workload::Workload;
 
-/// Read a LANL-style CSV with a header line.
+/// Read a LANL-style CSV with a header line, aborting on the first
+/// unparseable row. A thin wrapper over [`read_lanl_csv_lenient`] with
+/// [`IngestPolicy::FailFast`].
 ///
 /// Rows whose repair time precedes the failure start — present in the raw
 /// release due to clock and data-entry glitches — are skipped and counted
-/// in the returned report rather than failing the whole file.
+/// in the returned report rather than failing the whole file, as are
+/// zero-width (instantaneous) outages, which are kept but counted.
 ///
 /// # Errors
 ///
 /// [`RecordError::MalformedLine`] for a missing/invalid header or an
 /// unparseable row.
 pub fn read_lanl_csv<R: BufRead>(reader: R) -> Result<LanlImport, RecordError> {
+    let ingest = read_lanl_csv_lenient(reader, IngestPolicy::FailFast)?;
+    let skipped_inverted = ingest
+        .quarantine
+        .iter()
+        .filter(|q| q.issue == QualityIssue::InvertedInterval)
+        .count();
+    Ok(LanlImport {
+        trace: ingest.trace,
+        skipped_inverted,
+        zero_width: ingest.zero_width,
+    })
+}
+
+/// Read a LANL-style CSV under an [`IngestPolicy`].
+///
+/// Inverted rows are quarantined (never fatal) under `FailFast` and
+/// `Quarantine`, matching the strict reader's skip-and-count behavior;
+/// under [`IngestPolicy::Repair`] their endpoints are swapped and the
+/// row is kept. Other defects follow the policy: `FailFast` aborts with
+/// the strict reader's exact error, `Quarantine` stores the row, and
+/// `Repair` additionally maps unknown cause words to `undetermined`.
+/// `accepted + quarantined == total_rows` always holds.
+///
+/// # Errors
+///
+/// A missing or invalid header is fatal under every policy (the file
+/// cannot be interpreted without one); row errors are fatal only under
+/// [`IngestPolicy::FailFast`].
+pub fn read_lanl_csv_lenient<R: BufRead>(
+    reader: R,
+    policy: IngestPolicy,
+) -> Result<LenientIngest, RecordError> {
     let mut lines = reader.lines().enumerate();
     let header = loop {
         match lines.next() {
             Some((i, line)) => {
                 let line = line.map_err(|e| io_err(i + 1, &e))?;
-                let trimmed = line.trim();
+                let trimmed = strip_bom(&line).trim();
                 if trimmed.is_empty() || trimmed.starts_with('#') {
                     continue;
                 }
@@ -63,22 +103,78 @@ pub fn read_lanl_csv<R: BufRead>(reader: R) -> Result<LanlImport, RecordError> {
     };
 
     let mut records = Vec::new();
-    let mut skipped_inverted = 0usize;
+    let mut quarantine = Vec::new();
+    let mut repaired = Vec::new();
+    let mut total_rows = 0usize;
+    let mut zero_width = 0usize;
     for (i, line) in lines {
         let line_no = i + 1;
-        let line = line.map_err(|e| io_err(line_no, &e))?;
-        let trimmed = line.trim();
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                if policy == IngestPolicy::FailFast {
+                    return Err(io_err(line_no, &e));
+                }
+                total_rows += 1;
+                let issue = QualityIssue::Unreadable {
+                    reason: e.to_string(),
+                };
+                quarantine.push(QuarantinedRow {
+                    line: line_no,
+                    raw: String::new(),
+                    severity: issue.severity(),
+                    issue,
+                });
+                continue;
+            }
+        };
+        let trimmed = strip_bom(&line).trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        match header.parse_row(trimmed, line_no)? {
-            Some(record) => records.push(record),
-            None => skipped_inverted += 1,
+        total_rows += 1;
+        match header.parse_row(trimmed, line_no, policy) {
+            Ok(LanlRow::Clean(record)) => {
+                if record.downtime_secs() == 0 {
+                    zero_width += 1;
+                }
+                records.push(record);
+            }
+            Ok(LanlRow::Repaired(record, issue)) => {
+                if record.downtime_secs() == 0 {
+                    zero_width += 1;
+                }
+                records.push(record);
+                repaired.push(RepairedRow {
+                    line: line_no,
+                    issue,
+                });
+            }
+            Ok(LanlRow::Skipped(issue)) => quarantine.push(QuarantinedRow {
+                line: line_no,
+                raw: trimmed.to_string(),
+                severity: issue.severity(),
+                issue,
+            }),
+            Err((err, issue)) => match policy {
+                IngestPolicy::FailFast => return Err(err),
+                IngestPolicy::Quarantine | IngestPolicy::Repair => {
+                    quarantine.push(QuarantinedRow {
+                        line: line_no,
+                        raw: trimmed.to_string(),
+                        severity: issue.severity(),
+                        issue,
+                    })
+                }
+            },
         }
     }
-    Ok(LanlImport {
+    Ok(LenientIngest {
         trace: FailureTrace::from_records(records),
-        skipped_inverted,
+        quarantine,
+        repaired,
+        total_rows,
+        zero_width,
     })
 }
 
@@ -89,6 +185,32 @@ pub struct LanlImport {
     pub trace: FailureTrace,
     /// Rows skipped because repair preceded failure (raw-data glitches).
     pub skipped_inverted: usize,
+    /// Rows kept whose failure start equals the repair time (node
+    /// bounced) — counted, not dropped.
+    pub zero_width: usize,
+}
+
+impl fmt::Display for LanlImport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} records imported ({} skipped: inverted interval; {} kept: zero-width interval)",
+            self.trace.len(),
+            self.skipped_inverted,
+            self.zero_width
+        )
+    }
+}
+
+/// Outcome of parsing one LANL row under a policy.
+enum LanlRow {
+    /// The row parsed cleanly.
+    Clean(FailureRecord),
+    /// The row was accepted after an explicit repair (Repair policy).
+    Repaired(FailureRecord, QualityIssue),
+    /// The row was set aside (inverted interval under non-repair
+    /// policies — the strict reader's historical skip class).
+    Skipped(QualityIssue),
 }
 
 fn io_err(line: usize, e: &std::io::Error) -> RecordError {
@@ -133,38 +255,86 @@ impl Header {
         })
     }
 
-    fn parse_row(&self, line: &str, line_no: usize) -> Result<Option<FailureRecord>, RecordError> {
+    /// Parse one row. Field order and error values match the historical
+    /// strict reader exactly; the policy only decides what happens to
+    /// inverted intervals and unknown cause words.
+    fn parse_row(
+        &self,
+        line: &str,
+        line_no: usize,
+        policy: IngestPolicy,
+    ) -> Result<LanlRow, (RecordError, QualityIssue)> {
+        let malformed = |e: RecordError| {
+            let issue = QualityIssue::MalformedField {
+                reason: e.to_string(),
+            };
+            (e, issue)
+        };
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        let get = |i: usize, what: &str| -> Result<&str, RecordError> {
-            fields
-                .get(i)
-                .copied()
-                .ok_or_else(|| RecordError::MalformedLine {
+        let get = |i: usize, what: &str| -> Result<&str, (RecordError, QualityIssue)> {
+            fields.get(i).copied().ok_or_else(|| {
+                malformed(RecordError::MalformedLine {
                     line: line_no,
                     reason: format!("row is missing the {what} column"),
                 })
+            })
         };
-        let system: SystemId = get(self.system, "system")?.parse().map_err(wrap(line_no))?;
-        let node: NodeId = get(self.node, "node")?.parse().map_err(wrap(line_no))?;
-        let start = parse_datetime(get(self.start, "failure start")?, line_no)?;
-        let end = parse_datetime(get(self.end, "failure end")?, line_no)?;
-        if end < start {
-            return Ok(None); // raw-data glitch; reported via skipped count
+        let system: SystemId = get(self.system, "system")?
+            .parse()
+            .map_err(wrap(line_no))
+            .map_err(malformed)?;
+        let node: NodeId = get(self.node, "node")?
+            .parse()
+            .map_err(wrap(line_no))
+            .map_err(malformed)?;
+        let start = parse_datetime(get(self.start, "failure start")?, line_no).map_err(malformed)?;
+        let end = parse_datetime(get(self.end, "failure end")?, line_no).map_err(malformed)?;
+        let inverted = end < start;
+        if inverted && policy != IngestPolicy::Repair {
+            // Raw-data glitch; quarantined (the strict reader's skip
+            // class), before the cause is even inspected — historically
+            // an inverted row with a garbage cause was still skipped,
+            // not an error.
+            return Ok(LanlRow::Skipped(QualityIssue::InvertedInterval));
         }
-        let detail = parse_lanl_cause(get(self.cause, "cause")?, line_no)?;
+        let raw_cause = get(self.cause, "cause")?;
+        let (detail, drift) = match parse_lanl_cause(raw_cause, line_no) {
+            Ok(d) => (d, None),
+            Err(_) if policy == IngestPolicy::Repair => (
+                DetailedCause::Undetermined,
+                Some(QualityIssue::VocabularyDrift {
+                    raw: raw_cause.to_string(),
+                }),
+            ),
+            Err(e) => {
+                let issue = QualityIssue::VocabularyDrift {
+                    raw: raw_cause.to_string(),
+                };
+                return Err((e, issue));
+            }
+        };
         let workload = match self.workload {
             Some(i) => fields
                 .get(i)
                 .filter(|s| !s.is_empty())
                 .map(|s| s.parse())
                 .transpose()
-                .map_err(wrap(line_no))?
+                .map_err(wrap(line_no))
+                .map_err(malformed)?
                 .unwrap_or(Workload::Compute),
             None => Workload::Compute,
         };
+        let (start, end) = if inverted { (end, start) } else { (start, end) };
         let record = FailureRecord::new(system, node, start, end, workload, detail)
-            .map_err(wrap(line_no))?;
-        Ok(Some(record))
+            .map_err(wrap(line_no))
+            .map_err(malformed)?;
+        if inverted {
+            Ok(LanlRow::Repaired(record, QualityIssue::InvertedInterval))
+        } else if let Some(issue) = drift {
+            Ok(LanlRow::Repaired(record, issue))
+        } else {
+            Ok(LanlRow::Clean(record))
+        }
     }
 }
 
@@ -383,6 +553,100 @@ system,node,started,fixed,cause
         assert!(parse_datetime("", 1).is_err());
         assert!(parse_datetime("28.06.1999 14:30", 1).is_err());
         assert!(parse_datetime("06/28/1999 25:00", 1).is_err());
+    }
+
+    #[test]
+    fn zero_width_rows_counted_not_dropped() {
+        let text = "\
+system,node,started,fixed,cause
+20,1,06/28/1999 14:30,06/28/1999 14:30,hardware
+20,2,06/28/1999 14:30,06/28/1999 20:45,hardware
+";
+        let import = read_lanl_csv(text.as_bytes()).unwrap();
+        assert_eq!(import.trace.len(), 2, "zero-width rows are kept");
+        assert_eq!(import.zero_width, 1);
+        assert_eq!(import.skipped_inverted, 0);
+    }
+
+    #[test]
+    fn import_display_reports_per_reason_counts() {
+        let text = "\
+system,node,started,fixed,cause
+20,1,06/28/1999 14:30,06/28/1999 14:30,hardware
+20,2,06/28/1999 14:30,06/27/1999 20:45,hardware
+20,3,06/28/1999 14:30,06/28/1999 20:45,hardware
+";
+        let import = read_lanl_csv(text.as_bytes()).unwrap();
+        let text = import.to_string();
+        assert!(
+            text.contains("2 records imported"),
+            "{text}"
+        );
+        assert!(text.contains("1 skipped: inverted interval"), "{text}");
+        assert!(text.contains("1 kept: zero-width interval"), "{text}");
+    }
+
+    #[test]
+    fn lenient_quarantines_bad_rows_and_conserves() {
+        let text = "\
+system,node,started,fixed,cause
+20,1,06/28/1999 14:30,06/28/1999 20:45,hardware
+20,2,06/28/1999 14:30,06/27/1999 20:45,hardware
+20,3,13/45/1999 14:30,06/28/1999 20:45,hardware
+20,4,06/28/1999 14:30,06/28/1999 20:45,gremlins
+";
+        let ingest = read_lanl_csv_lenient(text.as_bytes(), IngestPolicy::Quarantine).unwrap();
+        assert_eq!(ingest.total_rows, 4);
+        assert_eq!(ingest.accepted(), 1);
+        assert_eq!(ingest.quarantine.len(), 3);
+        assert!(ingest.is_conserved());
+        let classes: Vec<&str> = ingest.quarantine.iter().map(|q| q.issue.class()).collect();
+        assert_eq!(
+            classes,
+            vec!["inverted-interval", "malformed-field", "vocabulary-drift"]
+        );
+    }
+
+    #[test]
+    fn lenient_repair_swaps_inverted_and_maps_drift() {
+        let text = "\
+system,node,started,fixed,cause
+20,2,06/28/1999 14:30,06/27/1999 20:45,hardware
+20,4,06/28/1999 14:30,06/28/1999 20:45,gremlins
+";
+        let ingest = read_lanl_csv_lenient(text.as_bytes(), IngestPolicy::Repair).unwrap();
+        assert_eq!(ingest.accepted(), 2);
+        assert!(ingest.quarantine.is_empty());
+        assert!(ingest.is_conserved());
+        assert_eq!(ingest.repaired.len(), 2);
+        assert_eq!(ingest.repaired[0].issue, QualityIssue::InvertedInterval);
+        assert!(matches!(
+            ingest.repaired[1].issue,
+            QualityIssue::VocabularyDrift { .. }
+        ));
+        // Swapped endpoints: start is the earlier instant.
+        let swapped = ingest
+            .trace
+            .iter()
+            .find(|r| r.node() == NodeId::new(2))
+            .unwrap();
+        assert_eq!(
+            swapped.start(),
+            Timestamp::from_civil(1999, 6, 27, 20, 45, 0).unwrap()
+        );
+        let drift = ingest
+            .trace
+            .iter()
+            .find(|r| r.node() == NodeId::new(4))
+            .unwrap();
+        assert_eq!(drift.detail(), DetailedCause::Undetermined);
+    }
+
+    #[test]
+    fn lanl_bom_tolerated() {
+        let text = "\u{feff}system,node,started,fixed,cause\r\n20,1,06/28/1999 14:30,06/28/1999 20:45,hardware\r\n";
+        let import = read_lanl_csv(text.as_bytes()).unwrap();
+        assert_eq!(import.trace.len(), 1);
     }
 
     #[test]

@@ -21,12 +21,14 @@
 
 pub mod catalog;
 mod cause;
+pub mod corrupt;
 mod error;
 mod ids;
 pub mod index;
 pub mod intervals;
 pub mod io;
 pub mod io_lanl;
+pub mod quality;
 mod record;
 pub mod time;
 mod trace;
@@ -34,9 +36,14 @@ mod workload;
 
 pub use catalog::{Catalog, NodeCategory, SystemSpec};
 pub use cause::{DetailedCause, RootCause};
+pub use corrupt::{CorruptionPlan, Corruptor, FaultMix};
 pub use error::RecordError;
 pub use ids::{HardwareType, NodeId, SystemId};
 pub use index::{CauseTotals, TraceIndex, TraceView};
+pub use quality::{
+    audit, audit_with_catalog, repair, IngestPolicy, LenientIngest, QualityIssue, QualityReport,
+    QuarantinedRow, RepairOutcome, RepairPolicy, Severity,
+};
 pub use record::FailureRecord;
 pub use time::Timestamp;
 pub use trace::FailureTrace;

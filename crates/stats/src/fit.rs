@@ -75,9 +75,17 @@ impl Family {
     ///
     /// # Errors
     ///
-    /// Propagates the per-family fitter errors (empty sample, out of
-    /// support, degenerate, no convergence).
+    /// Degenerate samples are rejected up front with a typed error —
+    /// never a NaN fit: [`StatsError::EmptySample`] for no data,
+    /// [`StatsError::NonFinite`] for NaN/infinite observations,
+    /// [`StatsError::SampleTooSmall`] for n < 2, and
+    /// [`StatsError::DegenerateSample`] for all-equal data (under which
+    /// no two-parameter MLE is identified; the one-parameter exponential
+    /// is rejected too, for a uniform contract across families).
+    /// Otherwise propagates the per-family fitter errors (out of
+    /// support, no convergence).
     pub fn fit(self, data: &[f64]) -> Result<Box<dyn Continuous>, StatsError> {
+        guard_slice(data)?;
         Ok(match self {
             Family::Exponential => Box::new(Exponential::fit_mle(data)?),
             Family::Weibull => Box::new(Weibull::fit_mle(data)?),
@@ -95,8 +103,18 @@ impl Family {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`Family::fit`].
+    /// Same conditions as [`Family::fit`] (preparation already rules out
+    /// empty and non-finite samples).
     pub fn fit_prepared(self, sample: &PreparedSample) -> Result<Box<dyn Continuous>, StatsError> {
+        if sample.len() < 2 {
+            return Err(StatsError::SampleTooSmall {
+                needed: 2,
+                got: sample.len(),
+            });
+        }
+        if sample.is_degenerate() {
+            return Err(StatsError::DegenerateSample);
+        }
         Ok(match self {
             Family::Exponential => Box::new(Exponential::fit_prepared(sample)?),
             Family::Weibull => Box::new(Weibull::fit_prepared(sample)?),
@@ -106,6 +124,26 @@ impl Family {
             Family::Pareto => Box::new(Pareto::fit_prepared(sample)?),
         })
     }
+}
+
+/// The slice-path degenerate-input guard behind [`Family::fit`].
+fn guard_slice(data: &[f64]) -> Result<(), StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if data.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    if data.len() < 2 {
+        return Err(StatsError::SampleTooSmall {
+            needed: 2,
+            got: data.len(),
+        });
+    }
+    if data.iter().all(|&x| x == data[0]) {
+        return Err(StatsError::DegenerateSample);
+    }
+    Ok(())
 }
 
 impl std::fmt::Display for Family {
@@ -374,6 +412,72 @@ mod tests {
             fit_paper_set(&[1.0, f64::NAN]),
             Err(StatsError::NonFinite)
         ));
+    }
+
+    #[test]
+    fn degenerate_inputs_give_typed_errors_for_every_family() {
+        // Every family, every degenerate class: a typed error, never a
+        // NaN fit or a panic.
+        for family in Family::ALL {
+            assert!(
+                matches!(family.fit(&[]), Err(StatsError::EmptySample)),
+                "{family}: empty"
+            );
+            assert!(
+                matches!(
+                    family.fit(&[3.0]),
+                    Err(StatsError::SampleTooSmall { needed: 2, got: 1 })
+                ),
+                "{family}: n=1"
+            );
+            assert!(
+                matches!(
+                    family.fit(&[2.5, 2.5, 2.5, 2.5]),
+                    Err(StatsError::DegenerateSample)
+                ),
+                "{family}: all-identical"
+            );
+            for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                assert!(
+                    matches!(family.fit(&[1.0, bad, 3.0]), Err(StatsError::NonFinite)),
+                    "{family}: non-finite {bad}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_prepared_samples_give_typed_errors() {
+        // Preparation itself rejects empty/non-finite; the fit layer
+        // guards the remaining classes.
+        let single = PreparedSample::new(&[3.0]).unwrap();
+        let flat = PreparedSample::new(&[2.5, 2.5, 2.5]).unwrap();
+        for family in Family::ALL {
+            assert!(
+                matches!(
+                    family.fit_prepared(&single),
+                    Err(StatsError::SampleTooSmall { needed: 2, got: 1 })
+                ),
+                "{family}: prepared n=1"
+            );
+            assert!(
+                matches!(
+                    family.fit_prepared(&flat),
+                    Err(StatsError::DegenerateSample)
+                ),
+                "{family}: prepared all-identical"
+            );
+        }
+        // An all-equal sample fails every family in a ranked comparison
+        // but is recorded, not fatal.
+        let report = fit_candidates_prepared(&flat, &Family::ALL, Criterion::NegLogLikelihood)
+            .unwrap();
+        assert!(report.candidates.is_empty());
+        assert_eq!(report.failures.len(), Family::ALL.len());
+        assert!(report
+            .failures
+            .iter()
+            .all(|(_, e)| *e == StatsError::DegenerateSample));
     }
 
     #[test]

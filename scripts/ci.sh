@@ -30,6 +30,30 @@ if ! diff -u "$tmpdir/repro_t1.txt" "$tmpdir/repro_t8.txt"; then
 fi
 echo "OK: repro output byte-identical across worker counts"
 
+echo "==> ingest robustness suite (corruptor sweep, conservation, repair idempotence)"
+cargo test --release -q -p hpcfail --test ingest_robustness
+
+echo "==> CLI quality smoke (lenient ingest + audit + repair on a dirty trace)"
+good="20,22,110000000,110021600,compute,memory"
+printf '%s\n%s\nnot,a,row\n20,22,110021600,110000000,compute,memory\n' \
+    "$good" "$good" > "$tmpdir/dirty.csv"
+cargo run --release -q -p hpcfail-cli --bin hpcfail -- \
+    quality "$tmpdir/dirty.csv" --repair --out "$tmpdir/fixed.csv" > "$tmpdir/quality.txt"
+grep -q "conserved: true" "$tmpdir/quality.txt" || {
+    echo "FAIL: quality smoke did not report row conservation" >&2
+    cat "$tmpdir/quality.txt" >&2
+    exit 1
+}
+grep -q "repair:" "$tmpdir/quality.txt" || {
+    echo "FAIL: quality smoke did not run the repair passes" >&2
+    exit 1
+}
+test -s "$tmpdir/fixed.csv" || {
+    echo "FAIL: quality --out wrote no repaired trace" >&2
+    exit 1
+}
+echo "OK: quality subcommand quarantines, audits, and repairs"
+
 echo "==> fit benchmark suite smoke run (--test mode: each bench once, untimed)"
 cargo bench -q -p hpcfail-bench --bench fit_bench -- --test
 

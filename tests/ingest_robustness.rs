@@ -1,0 +1,187 @@
+//! The never-panic harness for the hardened ingest path: drive the
+//! deterministic [`Corruptor`] over synthetic traces at sweep corruption
+//! rates and assert that lenient ingestion survives anything the fault
+//! injector produces, that row conservation holds, that repair is
+//! idempotent, and that the lenient readers agree with the strict ones
+//! on clean input.
+//!
+//! Every assertion message carries the corruption plan, so any failure
+//! is replayable from `(seed, plan)` alone.
+
+use hpcfail::prelude::*;
+use hpcfail::records::io::{read_csv, read_csv_lenient, write_csv};
+use hpcfail::records::quality::{audit, repair};
+use proptest::prelude::*;
+
+fn arbitrary_record() -> impl Strategy<Value = FailureRecord> {
+    (
+        1u32..=22,
+        0u32..64,
+        0u64..300_000_000,
+        0u64..1_000_000,
+        0usize..hpcfail::records::Workload::ALL.len(),
+        0usize..hpcfail::records::DetailedCause::ALL.len(),
+    )
+        .prop_map(|(sys, node, start, dur, w, d)| {
+            FailureRecord::new(
+                SystemId::new(sys),
+                NodeId::new(node),
+                Timestamp::from_secs(start),
+                Timestamp::from_secs(start + dur),
+                hpcfail::records::Workload::ALL[w],
+                hpcfail::records::DetailedCause::ALL[d],
+            )
+            .expect("end >= start by construction")
+        })
+}
+
+/// Render a trace to its CSV bytes (the strict writer).
+fn to_csv(trace: &FailureTrace) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_csv(trace, &mut out).expect("in-memory write cannot fail");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lenient ingestion must survive ANY corruption rate in [0, 1] —
+    /// no panic, no error, and `accepted + quarantined == data rows` —
+    /// and the accepted trace must be auditable and repairable without
+    /// panicking either.
+    #[test]
+    fn lenient_ingest_survives_any_corruption(
+        records in prop::collection::vec(arbitrary_record(), 0..60),
+        seed in 0u64..10_000,
+        rate_millis in 0u64..=1_000,
+        shuffle in prop::bool::ANY,
+        truncate in prop::bool::ANY,
+    ) {
+        let trace = FailureTrace::from_records(records);
+        let mut plan = CorruptionPlan::new(seed, rate_millis as f64 / 1_000.0);
+        plan.shuffle_rows = shuffle;
+        plan.truncate_file = truncate;
+        let dirty = Corruptor::new(plan).corrupt_trace(&trace);
+        let catalog = Catalog::lanl();
+        for policy in [IngestPolicy::Quarantine, IngestPolicy::Repair] {
+            let ingest = read_csv_lenient(dirty.as_bytes(), policy)
+                .unwrap_or_else(|e| panic!("lenient ingest errored under {plan}: {e}"));
+            prop_assert!(
+                ingest.is_conserved(),
+                "conservation violated under {}: {} accepted + {} quarantined != {} rows",
+                plan,
+                ingest.accepted(),
+                ingest.quarantine.len(),
+                ingest.total_rows
+            );
+            // The accepted records must be clean enough for the quality
+            // layer to process without panicking.
+            let report = audit(&ingest.trace);
+            prop_assert_eq!(report.total_records, ingest.trace.len());
+            let outcome = repair(&ingest.trace, Some(&catalog), &RepairPolicy::default());
+            prop_assert!(outcome.trace.len() <= ingest.trace.len());
+        }
+    }
+
+    /// Corruption is a pure function of the plan: the same `(seed, plan)`
+    /// reproduces the same dirty file, so any harness failure is
+    /// replayable from the printed plan alone.
+    #[test]
+    fn corruption_is_replayable_from_the_plan(
+        records in prop::collection::vec(arbitrary_record(), 0..40),
+        seed in 0u64..10_000,
+        rate_millis in 0u64..=1_000,
+    ) {
+        let trace = FailureTrace::from_records(records);
+        let plan = CorruptionPlan::new(seed, rate_millis as f64 / 1_000.0);
+        let a = Corruptor::new(plan).corrupt_trace(&trace);
+        let b = Corruptor::new(plan).corrupt_trace(&trace);
+        prop_assert!(a == b, "same plan must replay identically: {}", plan);
+    }
+
+    /// `repair` is idempotent: a second pass over an already-repaired
+    /// trace changes nothing, record for record.
+    #[test]
+    fn repair_is_idempotent(
+        records in prop::collection::vec(arbitrary_record(), 0..80),
+    ) {
+        let trace = FailureTrace::from_records(records);
+        let catalog = Catalog::lanl();
+        let policy = RepairPolicy::default();
+        let first = repair(&trace, Some(&catalog), &policy);
+        let second = repair(&first.trace, Some(&catalog), &policy);
+        prop_assert!(!second.changed(), "second repair still changed:\n{}", second);
+        prop_assert_eq!(second.trace.records(), first.trace.records());
+    }
+
+    /// On clean input the lenient readers are invisible: every policy
+    /// accepts exactly what the strict reader parses, with an empty
+    /// quarantine and no repairs.
+    #[test]
+    fn strict_and_lenient_agree_on_clean_input(
+        records in prop::collection::vec(arbitrary_record(), 0..80),
+    ) {
+        let trace = FailureTrace::from_records(records);
+        let csv = to_csv(&trace);
+        let strict = read_csv(csv.as_slice()).expect("clean csv parses strictly");
+        for policy in [
+            IngestPolicy::FailFast,
+            IngestPolicy::Quarantine,
+            IngestPolicy::Repair,
+        ] {
+            let ingest = read_csv_lenient(csv.as_slice(), policy).expect("clean csv");
+            prop_assert_eq!(ingest.trace.records(), strict.records());
+            prop_assert!(ingest.quarantine.is_empty());
+            prop_assert!(ingest.repaired.is_empty());
+            prop_assert!(ingest.is_conserved());
+        }
+    }
+}
+
+/// A deterministic corruption-rate sweep over a calibrated synthetic
+/// system trace — the CI smoke for the whole pipeline. Every plan is
+/// printed on failure via the assertion messages.
+#[test]
+fn corruption_rate_sweep_on_synthetic_trace() {
+    let trace =
+        hpcfail::synth::scenario::system_trace(SystemId::new(12), 7).expect("synthetic trace");
+    let catalog = Catalog::lanl();
+    for &rate in &[0.0, 0.05, 0.25, 0.5, 0.75, 1.0] {
+        for seed in 0..3u64 {
+            let mut plan = CorruptionPlan::new(seed, rate);
+            plan.shuffle_rows = seed % 2 == 0;
+            plan.truncate_file = seed % 3 == 0;
+            let dirty = Corruptor::new(plan).corrupt_trace(&trace);
+            for policy in [IngestPolicy::Quarantine, IngestPolicy::Repair] {
+                let ingest = read_csv_lenient(dirty.as_bytes(), policy)
+                    .unwrap_or_else(|e| panic!("ingest errored under {plan}: {e}"));
+                assert!(ingest.is_conserved(), "conservation violated under {plan}");
+                if rate == 0.0 && !plan.truncate_file {
+                    assert_eq!(
+                        ingest.accepted(),
+                        trace.len(),
+                        "rate 0 must accept everything ({plan})"
+                    );
+                    assert!(ingest.quarantine.is_empty(), "{plan}");
+                }
+                let outcome = repair(&ingest.trace, Some(&catalog), &RepairPolicy::default());
+                let again = repair(&outcome.trace, Some(&catalog), &RepairPolicy::default());
+                assert!(!again.changed(), "repair not idempotent under {plan}");
+            }
+        }
+    }
+}
+
+/// Zero corruption round-trips bit-for-bit through the lenient reader:
+/// write → corrupt(rate 0) → lenient read → write is a fixed point.
+#[test]
+fn zero_rate_corruption_round_trips() {
+    let trace =
+        hpcfail::synth::scenario::system_trace(SystemId::new(12), 11).expect("synthetic trace");
+    let plan = CorruptionPlan::new(3, 0.0);
+    let dirty = Corruptor::new(plan).corrupt_trace(&trace);
+    let ingest =
+        read_csv_lenient(dirty.as_bytes(), IngestPolicy::Quarantine).expect("clean read");
+    assert_eq!(ingest.trace.records(), trace.records());
+    assert_eq!(to_csv(&ingest.trace), to_csv(&trace));
+}
