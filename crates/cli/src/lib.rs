@@ -12,6 +12,7 @@
 //! hpcfail quality FILE [--lanl] [--repair] [--out FILE]
 //! hpcfail import-lanl FILE [--out FILE]
 //! hpcfail validate [--seed N]
+//! hpcfail serve [--trace FILE]... [--lanl] [--synth SEED] [--system ID] [--host H] [--port N]
 //! ```
 //!
 //! The library surface exists so the command logic is unit-testable;
@@ -84,6 +85,13 @@ USAGE:
       Convert a LANL-style export to the native CSV format.
   hpcfail validate [--seed N]
       Regenerate the site and check every calibration target.
+  hpcfail serve [--trace FILE]... [--lanl] [--synth SEED] [--system ID]
+                [--host H] [--port N]
+      Serve the analyses over HTTP/JSON. Each --trace FILE becomes a
+      tenant named after the file stem (--lanl reads them as LANL
+      exports); --synth SEED adds a generated tenant named \"synth\"
+      (whole site, or one system with --system). Port 0 picks an
+      ephemeral port; the bound address is printed on startup.
   hpcfail help
       Show this message.";
 
@@ -132,6 +140,21 @@ pub enum Command {
     Validate {
         /// RNG seed.
         seed: u64,
+    },
+    /// `serve [--trace FILE]... [--lanl] [--synth SEED] [--system ID] [--host H] [--port N]`
+    Serve {
+        /// Trace files to load as tenants (named by file stem).
+        traces: Vec<PathBuf>,
+        /// Read the trace files as LANL exports instead of native CSV.
+        lanl: bool,
+        /// Add a synthetic tenant named "synth", generated from this seed.
+        synth: Option<u64>,
+        /// Restrict the synthetic tenant to one system.
+        system: Option<u32>,
+        /// Bind host.
+        host: String,
+        /// Bind port (0 = ephemeral).
+        port: u16,
     },
     /// `help`
     Help,
@@ -255,6 +278,54 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "validate" => Ok(Command::Validate {
             seed: parse_seed(flag_value("--seed")?)?,
         }),
+        "serve" => {
+            let mut traces = Vec::new();
+            let mut i = 0;
+            while i < rest.len() {
+                if rest[i].as_str() == "--trace" {
+                    match rest.get(i + 1) {
+                        Some(v) => traces.push(PathBuf::from(v.as_str())),
+                        None => return Err(usage_err("--trace requires a value")),
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let lanl = rest.iter().any(|a| a.as_str() == "--lanl");
+            let synth = flag_value("--synth")?
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| usage_err(format!("bad seed {s:?}")))
+                })
+                .transpose()?;
+            let system = parse_system(flag_value("--system")?)?;
+            let host = flag_value("--host")?
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1".to_string());
+            let port = match flag_value("--port")? {
+                Some(s) => s
+                    .parse::<u16>()
+                    .map_err(|_| usage_err(format!("bad port {s:?}")))?,
+                None => 7070,
+            };
+            if traces.is_empty() && synth.is_none() {
+                return Err(usage_err(
+                    "serve needs at least one tenant: --trace FILE and/or --synth SEED",
+                ));
+            }
+            if system.is_some() && synth.is_none() {
+                return Err(usage_err("serve --system requires --synth"));
+            }
+            Ok(Command::Serve {
+                traces,
+                lanl,
+                synth,
+                system,
+                host,
+                port,
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(usage_err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -280,7 +351,87 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         } => quality(file, *lanl, *repair, out.as_ref()),
         Command::ImportLanl { file, out } => import_lanl(file, out),
         Command::Validate { seed } => validate(*seed),
+        Command::Serve {
+            traces,
+            lanl,
+            synth,
+            system,
+            host,
+            port,
+        } => serve(traces, *lanl, *synth, *system, host, *port),
     }
+}
+
+/// Build the serve-layer state for a `serve` invocation: one tenant per
+/// trace file (named by stem) plus the optional synthetic tenant.
+///
+/// # Errors
+///
+/// [`CliError`] on duplicate tenant names, unreadable files, or a
+/// failed synthesis.
+pub fn build_serve_state(
+    traces: &[PathBuf],
+    lanl: bool,
+    synth: Option<u64>,
+    system: Option<u32>,
+) -> Result<std::sync::Arc<hpcfail_serve::AppState>, CliError> {
+    let state = hpcfail_serve::AppState::new();
+    for path in traces {
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| usage_err(format!("cannot name a tenant after {}", path.display())))?;
+        let source = if lanl {
+            hpcfail_serve::TenantSource::LanlFile(path.clone())
+        } else {
+            hpcfail_serve::TenantSource::File(path.clone())
+        };
+        state
+            .registry
+            .insert(&name, source)
+            .map_err(|e| run_err(e.to_string()))?;
+    }
+    if let Some(seed) = synth {
+        let trace = match system {
+            Some(id) => hpcfail_synth::scenario::system_trace(SystemId::new(id), seed),
+            None => hpcfail_synth::scenario::site_trace(seed),
+        }
+        .map_err(|e| run_err(format!("generation failed: {e}")))?;
+        state
+            .registry
+            .insert(
+                "synth",
+                hpcfail_serve::TenantSource::Static(std::sync::Arc::new(trace)),
+            )
+            .map_err(|e| run_err(e.to_string()))?;
+    }
+    Ok(std::sync::Arc::new(state))
+}
+
+fn serve(
+    traces: &[PathBuf],
+    lanl: bool,
+    synth: Option<u64>,
+    system: Option<u32>,
+    host: &str,
+    port: u16,
+) -> Result<String, CliError> {
+    let state = build_serve_state(traces, lanl, synth, system)?;
+    let names = state.registry.names().join(", ");
+    let config = hpcfail_serve::ServeConfig {
+        addr: format!("{host}:{port}"),
+        ..hpcfail_serve::ServeConfig::default()
+    };
+    hpcfail_serve::run(state, &config, |addr| {
+        // The smoke test greps this exact line for the bound port, so
+        // flush it before blocking in the accept loop.
+        println!("hpcfail serve listening on http://{addr} (tenants: {names})");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    })
+    .map_err(|e| run_err(format!("cannot serve: {e}")))?;
+    Ok(String::new())
 }
 
 fn load(path: &PathBuf) -> Result<FailureTrace, CliError> {
@@ -726,5 +877,70 @@ mod tests {
         assert!(msg.contains("imported 1 records"));
         let text = execute(&Command::Summary(out)).unwrap();
         assert!(text.contains("records: 1"));
+    }
+
+    #[test]
+    fn parse_serve() {
+        let cmd = parse(&args(&["serve", "--synth", "42", "--system", "20"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                traces: vec![],
+                lanl: false,
+                synth: Some(42),
+                system: Some(20),
+                host: "127.0.0.1".to_string(),
+                port: 7070,
+            }
+        );
+        let cmd = parse(&args(&[
+            "serve", "--trace", "a.csv", "--trace", "b.csv", "--lanl", "--host", "0.0.0.0",
+            "--port", "0",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                traces: vec![PathBuf::from("a.csv"), PathBuf::from("b.csv")],
+                lanl: true,
+                synth: None,
+                system: None,
+                host: "0.0.0.0".to_string(),
+                port: 0,
+            }
+        );
+        // No tenants, --system without --synth, bad port: usage errors.
+        assert_eq!(parse(&args(&["serve"])).unwrap_err().code, 2);
+        assert_eq!(
+            parse(&args(&["serve", "--trace", "a.csv", "--system", "20"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            parse(&args(&["serve", "--synth", "1", "--port", "banana"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+    }
+
+    #[test]
+    fn serve_state_names_tenants_by_stem() {
+        let dir = std::env::temp_dir().join("hpcfail_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mytrace.csv");
+        execute(&Command::Generate {
+            seed: 3,
+            system: Some(20),
+            out: path.clone(),
+        })
+        .unwrap();
+        let state = build_serve_state(&[path], false, Some(5), Some(20)).unwrap();
+        assert_eq!(
+            state.registry.names(),
+            vec!["mytrace".to_string(), "synth".to_string()]
+        );
+        assert!(state.registry.get("mytrace").unwrap().len() > 0);
     }
 }

@@ -27,6 +27,7 @@ pub use hpcfail_core as analysis;
 pub use hpcfail_exec as exec;
 pub use hpcfail_records as records;
 pub use hpcfail_sched as sched;
+pub use hpcfail_serve as serve;
 pub use hpcfail_stats as stats;
 pub use hpcfail_synth as synth;
 

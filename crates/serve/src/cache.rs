@@ -1,0 +1,208 @@
+//! The sharded result cache.
+//!
+//! Analysis results are memoized by `(tenant, generation, analysis,
+//! stratum)`. Because every tenant's [`hpcfail_records::TraceIndex`] is
+//! immutable, a result computed once is valid for the lifetime of that
+//! tenant generation — the cache never expires entries, only reload
+//! invalidates (by key purge *and* by generation bump, so in-flight
+//! requests racing a reload can never poison the new generation).
+//!
+//! Concurrency contract, locked by `tests/serve_cache.rs`:
+//!
+//! * **exactly-one-compute** — N threads hammering one cold key run the
+//!   compute closure once; the rest block on the entry's `OnceLock` and
+//!   share the result (miss counter +1, hit counter +N−1);
+//! * **byte-identical hits** — all callers receive clones of one
+//!   `Arc<str>` body, so a cache hit cannot differ from the first
+//!   computation even in principle;
+//! * **sharding** — keys spread over [`SHARDS`] independent mutexes, so
+//!   the per-shard critical section is a hash-map probe, never a
+//!   compute.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::http::Response;
+
+/// Number of independent cache shards.
+pub const SHARDS: usize = 16;
+
+/// A cache key: one analysis result over one immutable tenant
+/// generation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Tenant (trace) name.
+    pub tenant: String,
+    /// Tenant generation at lookup time; bumps on reload.
+    pub generation: u64,
+    /// Endpoint name (`tbf`, `repair`, …).
+    pub analysis: &'static str,
+    /// Canonicalized stratum query (sorted `k=v` pairs).
+    pub stratum: String,
+}
+
+type Shard = Mutex<HashMap<CacheKey, Arc<OnceLock<Response>>>>;
+
+/// The sharded result cache with hit/miss counters.
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::new()
+    }
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Shard {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Return the cached response for `key`, computing it with `f` if
+    /// absent. Concurrent callers on a cold key compute exactly once;
+    /// the winners-and-waiters all receive the same `Arc`-backed body.
+    pub fn get_or_compute<F>(&self, key: CacheKey, f: F) -> Response
+    where
+        F: FnOnce() -> Response,
+    {
+        let cell = {
+            let mut shard = self.shard_of(&key).lock().expect("cache shard");
+            shard
+                .entry(key)
+                .or_insert_with(|| Arc::new(OnceLock::new()))
+                .clone()
+        };
+        let mut computed = false;
+        let resp = cell
+            .get_or_init(|| {
+                computed = true;
+                f()
+            })
+            .clone();
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        resp
+    }
+
+    /// Drop every key belonging to `tenant` (any generation). Returns
+    /// the number of entries removed. Other tenants' entries are
+    /// untouched.
+    pub fn invalidate_tenant(&self, tenant: &str) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard");
+            let before = shard.len();
+            shard.retain(|k, _| k.tenant != tenant);
+            removed += before - shard.len();
+        }
+        removed
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Served-from-cache count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Computed-fresh count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, or 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tenant: &str, stratum: &str) -> CacheKey {
+        CacheKey {
+            tenant: tenant.to_string(),
+            generation: 1,
+            analysis: "tbf",
+            stratum: stratum.to_string(),
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = ResultCache::new();
+        let a = cache.get_or_compute(key("t", "a"), || Response::json(200, "{\"x\":1}"));
+        let b = cache.get_or_compute(key("t", "a"), || panic!("must not recompute"));
+        assert_eq!(a.body, b.body);
+        assert!(Arc::ptr_eq(&a.body, &b.body));
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalidation_is_tenant_scoped() {
+        let cache = ResultCache::new();
+        for stratum in ["a", "b", "c"] {
+            cache.get_or_compute(key("t1", stratum), || Response::json(200, "{}"));
+            cache.get_or_compute(key("t2", stratum), || Response::json(200, "{}"));
+        }
+        assert_eq!(cache.len(), 6);
+        assert_eq!(cache.invalidate_tenant("t1"), 3);
+        assert_eq!(cache.len(), 3);
+        // t2 still hits; t1 recomputes.
+        cache.get_or_compute(key("t2", "a"), || panic!("t2 untouched"));
+        let recomputed = cache.get_or_compute(key("t1", "a"), || Response::json(200, "{\"v\":2}"));
+        assert_eq!(&*recomputed.body, "{\"v\":2}");
+    }
+
+    #[test]
+    fn distinct_generations_are_distinct_keys() {
+        let cache = ResultCache::new();
+        let mut k2 = key("t", "a");
+        k2.generation = 2;
+        cache.get_or_compute(key("t", "a"), || Response::json(200, "{\"gen\":1}"));
+        let new = cache.get_or_compute(k2, || Response::json(200, "{\"gen\":2}"));
+        assert_eq!(&*new.body, "{\"gen\":2}");
+        assert_eq!(cache.misses(), 2);
+    }
+}

@@ -1,0 +1,379 @@
+//! The TCP accept loop and bounded worker pool.
+//!
+//! One acceptor thread pushes connections into a bounded queue; a fixed
+//! pool of workers (sized like the batch engine — `HPCFAIL_THREADS` or
+//! the CPU count, via [`hpcfail_exec::ParallelExecutor::from_env`])
+//! pops, reads one request under a deadline, answers through the
+//! router, and closes. Connections arriving while the queue is full get
+//! an immediate `503` instead of unbounded buffering — overload sheds
+//! rather than queues.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hpcfail_exec::ParallelExecutor;
+
+use crate::http::{self, parse_request, HttpError, Response, MAX_HEAD};
+use crate::router::{respond, AppState};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads; `None` sizes like the batch engine
+    /// (`HPCFAIL_THREADS` or the CPU count).
+    pub workers: Option<usize>,
+    /// Pending-connection queue bound; beyond it new connections are
+    /// shed with `503`.
+    pub queue_depth: usize,
+    /// Per-connection read/write deadline.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: None,
+            queue_depth: 256,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+struct Queue {
+    deque: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+/// A running server: bound address plus a handle to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal shutdown and join every thread. Idempotent.
+    pub fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bind and start serving `state` in background threads.
+///
+/// # Errors
+///
+/// Propagates the bind error.
+pub fn spawn(state: Arc<AppState>, config: &ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = config
+        .workers
+        .unwrap_or_else(|| ParallelExecutor::from_env().workers())
+        .max(1);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(Queue {
+        deque: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+    });
+
+    let mut worker_handles = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let state = state.clone();
+        let queue = queue.clone();
+        let shutdown = shutdown.clone();
+        let io_timeout = config.io_timeout;
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(format!("hpcfail-serve-{i}"))
+                .spawn(move || worker_loop(&state, &queue, &shutdown, io_timeout))
+                .expect("spawn worker"),
+        );
+    }
+
+    let acceptor = {
+        let queue = queue.clone();
+        let shutdown = shutdown.clone();
+        let depth = config.queue_depth;
+        std::thread::Builder::new()
+            .name("hpcfail-serve-accept".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let mut deque = queue.deque.lock().expect("accept queue");
+                    if deque.len() >= depth {
+                        drop(deque);
+                        shed(stream);
+                        continue;
+                    }
+                    deque.push_back(stream);
+                    drop(deque);
+                    queue.ready.notify_one();
+                }
+                // Unblock every worker so they see the shutdown flag.
+                queue.ready.notify_all();
+            })
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        acceptor: Some(acceptor),
+        workers: worker_handles,
+    })
+}
+
+/// Bind and serve until the process exits (the CLI entry point).
+/// Calls `on_bind` with the bound address before accepting.
+///
+/// # Errors
+///
+/// Propagates the bind error.
+pub fn run(
+    state: Arc<AppState>,
+    config: &ServeConfig,
+    on_bind: impl FnOnce(SocketAddr),
+) -> std::io::Result<()> {
+    let handle = spawn(state, config)?;
+    on_bind(handle.addr());
+    // Park forever; the threads own the work. Ctrl-C kills the process.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn shed(mut stream: TcpStream) {
+    let resp = Response::error(503, "server overloaded; retry");
+    let _ = stream.write_all(&resp.to_bytes());
+}
+
+fn worker_loop(
+    state: &AppState,
+    queue: &Queue,
+    shutdown: &AtomicBool,
+    io_timeout: Duration,
+) {
+    loop {
+        let stream = {
+            let mut deque = queue.deque.lock().expect("accept queue");
+            loop {
+                if let Some(stream) = deque.pop_front() {
+                    break stream;
+                }
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (guard, _) = queue
+                    .ready
+                    .wait_timeout(deque, Duration::from_millis(100))
+                    .expect("accept queue");
+                deque = guard;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        serve_connection(state, stream, io_timeout);
+    }
+}
+
+/// Read one request off `stream`, answer it, close. All I/O errors are
+/// swallowed (the peer is gone); parse errors map to their 4xx.
+fn serve_connection(state: &AppState, mut stream: TcpStream, io_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let _ = stream.set_nodelay(true);
+
+    let mut drain = false;
+    let response = match read_request(&mut stream) {
+        Ok(buf) => match parse_request(&buf) {
+            Ok(req) => respond(state, &req),
+            Err(err) => Response::error(err.status(), &err.to_string()),
+        },
+        Err(ReadOutcome::TooLarge) => {
+            // The peer is still mid-send; drain before closing so the
+            // rejection isn't lost to a connection reset.
+            drain = true;
+            Response::error(431, &HttpError::RequestLineTooLong.to_string())
+        }
+        Err(ReadOutcome::Io) => return, // peer vanished; nothing to say
+    };
+    let _ = stream.write_all(&response.to_bytes());
+    let _ = stream.flush();
+    if drain {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut sink = [0u8; 4096];
+        let mut drained = 0usize;
+        // Bounded: stop at EOF, error, read timeout, or 4 MiB.
+        while drained < 4 * 1024 * 1024 {
+            match stream.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => drained += n,
+            }
+        }
+    }
+}
+
+enum ReadOutcome {
+    TooLarge,
+    Io,
+}
+
+/// Read until the end of headers (plus any `content-length` body up to
+/// the parser's limits). Bounded by [`MAX_HEAD`] + body cap.
+fn read_request(stream: &mut TcpStream) -> Result<Vec<u8>, ReadOutcome> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Find the end of head; then read the declared body if any.
+        if let Some((head_end, _)) = http::find_head_end(&buf) {
+            let declared = declared_body_len(&buf[..head_end]);
+            let want = head_end + declared.min(http::MAX_BODY + 1);
+            while buf.len() < want {
+                let n = stream.read(&mut chunk).map_err(|_| ReadOutcome::Io)?;
+                if n == 0 {
+                    return Ok(buf); // truncated body: parser rejects it
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            return Ok(buf);
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(ReadOutcome::TooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(|_| ReadOutcome::Io)?;
+        if n == 0 {
+            return Ok(buf); // EOF before end of head: parser rejects it
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Best-effort `content-length` scan of the raw head (the real parse
+/// happens later; this only sizes the read loop).
+fn declared_body_len(head: &[u8]) -> usize {
+    let text = String::from_utf8_lossy(head);
+    for line in text.lines() {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                return value.trim().parse::<usize>().unwrap_or(0);
+            }
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantSource;
+    use hpcfail_records::{
+        DetailedCause, FailureRecord, FailureTrace, NodeId, SystemId, Timestamp, Workload,
+    };
+
+    fn tiny_state() -> Arc<AppState> {
+        let records = (0..64u64)
+            .map(|i| {
+                let at = Timestamp::from_secs(1_000 + i * 3_600);
+                FailureRecord::new(
+                    SystemId::new(20),
+                    NodeId::new((i % 8) as u32),
+                    at,
+                    at + 900,
+                    Workload::Compute,
+                    DetailedCause::Memory,
+                )
+                .unwrap()
+            })
+            .collect();
+        let state = AppState::new();
+        state
+            .registry
+            .insert(
+                "t",
+                TenantSource::Static(Arc::new(FailureTrace::from_records(records))),
+            )
+            .unwrap();
+        Arc::new(state)
+    }
+
+    fn roundtrip(addr: SocketAddr, raw: &str) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        conn.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_and_stops() {
+        let mut handle = spawn(
+            tiny_state(),
+            &ServeConfig {
+                workers: Some(2),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let reply = roundtrip(handle.addr(), "GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("\"status\":\"ok\""));
+        let reply = roundtrip(handle.addr(), "BROKEN\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        handle.stop();
+        handle.stop(); // idempotent
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected() {
+        let mut handle = spawn(tiny_state(), &ServeConfig::default()).unwrap();
+        // Terminated head with an oversized request line: rejected by
+        // the parser (414).
+        let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_HEAD + 10));
+        let reply = roundtrip(handle.addr(), &huge);
+        assert!(reply.starts_with("HTTP/1.1 414"), "{reply}");
+        // A head that never terminates: rejected by the bounded read
+        // loop (431) as soon as it crosses MAX_HEAD.
+        let mut conn = TcpStream::connect(handle.addr()).unwrap();
+        conn.write_all("GET /".as_bytes()).unwrap();
+        conn.write_all("y".repeat(MAX_HEAD + 8192).as_bytes()).unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut out = String::new();
+        conn.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 431"), "{out}");
+        handle.stop();
+    }
+}

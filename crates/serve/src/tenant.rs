@@ -1,0 +1,322 @@
+//! Tenants: named, immutable, `Arc`-shared trace indexes.
+//!
+//! A tenant owns one loaded [`FailureTrace`] together with its prebuilt
+//! [`TraceIndex`] — the same one-build-many-queries layout the batch
+//! harness uses, kept resident for the lifetime of a server process.
+//! Request handlers clone an `Arc<Tenant>` out of the registry and
+//! answer from the shared index; reload builds a *new* tenant (next
+//! generation) off to the side and swaps the `Arc` under a brief write
+//! lock, so in-flight readers keep their old index alive until they
+//! finish — reload never blocks them and never mutates shared state.
+
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::sync::{Arc, RwLock};
+
+use hpcfail_records::io::read_csv;
+use hpcfail_records::io_lanl::read_lanl_csv;
+use hpcfail_records::{FailureTrace, TraceIndex};
+
+/// A [`FailureTrace`] bundled with the [`TraceIndex`] built over it.
+///
+/// `TraceIndex<'t>` borrows the trace it indexes; this wrapper owns the
+/// trace behind a stable heap allocation (`Box`) and keeps an index
+/// borrowing from that allocation in the same struct. The lifetime is
+/// erased internally and re-shrunk to `&self` on access, which is sound
+/// because:
+///
+/// * the trace lives on the heap and its allocation never moves while
+///   the wrapper exists (moving the wrapper moves only the `Box`
+///   pointer);
+/// * no `&mut FailureTrace` is ever handed out, so the borrow the index
+///   holds stays valid;
+/// * `index` is declared before `trace`, so it drops first;
+/// * [`OwnedIndex::index`] returns the index at lifetime `&self`, never
+///   `'static`, so views cannot outlive the wrapper.
+#[derive(Debug)]
+pub struct OwnedIndex {
+    index: TraceIndex<'static>,
+    trace: Box<FailureTrace>,
+}
+
+impl OwnedIndex {
+    /// Build the index over `trace` and take ownership of both.
+    pub fn new(trace: FailureTrace) -> OwnedIndex {
+        let trace = Box::new(trace);
+        let borrowed: TraceIndex<'_> = trace.index();
+        // SAFETY: the borrow target is the boxed heap allocation, which
+        // outlives `index` by construction (field order) and never
+        // moves; see the type-level invariants above.
+        let index: TraceIndex<'static> =
+            unsafe { std::mem::transmute::<TraceIndex<'_>, TraceIndex<'static>>(borrowed) };
+        OwnedIndex { index, trace }
+    }
+
+    /// The index, at a lifetime tied to this wrapper.
+    pub fn index(&self) -> &TraceIndex<'_> {
+        &self.index
+    }
+
+    /// The owned trace.
+    pub fn trace(&self) -> &FailureTrace {
+        &self.trace
+    }
+}
+
+/// Where a tenant's records come from — consulted again on reload.
+#[derive(Debug, Clone)]
+pub enum TenantSource {
+    /// A native-CSV trace file (re-read on reload).
+    File(PathBuf),
+    /// A LANL-export trace file (re-read on reload).
+    LanlFile(PathBuf),
+    /// An in-memory trace (re-indexed from the shared copy on reload);
+    /// used by tests and the load harness.
+    Static(Arc<FailureTrace>),
+}
+
+/// One loaded tenant: an immutable generation of one named trace.
+#[derive(Debug)]
+pub struct Tenant {
+    /// Tenant name (the `<trace>` path segment).
+    pub name: String,
+    /// Monotonic generation, starting at 1; bumps on every reload.
+    pub generation: u64,
+    /// Where the records came from.
+    pub source: TenantSource,
+    owned: OwnedIndex,
+}
+
+impl Tenant {
+    /// The shared, immutable index of this generation.
+    pub fn index(&self) -> &TraceIndex<'_> {
+        self.owned.index()
+    }
+
+    /// Record count.
+    pub fn len(&self) -> usize {
+        self.owned.trace().len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.owned.trace().is_empty()
+    }
+}
+
+/// Errors from loading or reloading a tenant.
+#[derive(Debug)]
+pub enum TenantError {
+    /// The named tenant does not exist.
+    UnknownTenant(String),
+    /// A tenant with this name already exists.
+    DuplicateTenant(String),
+    /// Reading the source failed.
+    Load(String),
+}
+
+impl std::fmt::Display for TenantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TenantError::UnknownTenant(name) => write!(f, "no such trace {name:?}"),
+            TenantError::DuplicateTenant(name) => write!(f, "trace {name:?} already loaded"),
+            TenantError::Load(msg) => write!(f, "cannot load trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TenantError {}
+
+fn load_source(source: &TenantSource) -> Result<FailureTrace, TenantError> {
+    match source {
+        TenantSource::File(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| TenantError::Load(format!("{}: {e}", path.display())))?;
+            read_csv(BufReader::new(file))
+                .map_err(|e| TenantError::Load(format!("{}: {e}", path.display())))
+        }
+        TenantSource::LanlFile(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| TenantError::Load(format!("{}: {e}", path.display())))?;
+            read_lanl_csv(BufReader::new(file))
+                .map(|import| import.trace)
+                .map_err(|e| TenantError::Load(format!("{}: {e}", path.display())))
+        }
+        TenantSource::Static(trace) => Ok(FailureTrace::clone(trace)),
+    }
+}
+
+/// The named-tenant registry.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    tenants: RwLock<BTreeMap<String, Arc<Tenant>>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    pub fn new() -> TenantRegistry {
+        TenantRegistry::default()
+    }
+
+    /// Load a tenant from its source and register it under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::DuplicateTenant`] on a name collision;
+    /// [`TenantError::Load`] when the source cannot be read.
+    pub fn insert(&self, name: &str, source: TenantSource) -> Result<Arc<Tenant>, TenantError> {
+        let trace = load_source(&source)?;
+        let tenant = Arc::new(Tenant {
+            name: name.to_string(),
+            generation: 1,
+            source,
+            owned: OwnedIndex::new(trace),
+        });
+        let mut map = self.tenants.write().expect("tenant registry");
+        if map.contains_key(name) {
+            return Err(TenantError::DuplicateTenant(name.to_string()));
+        }
+        map.insert(name.to_string(), tenant.clone());
+        Ok(tenant)
+    }
+
+    /// Look up a tenant by name (cheap `Arc` clone).
+    pub fn get(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.tenants.read().expect("tenant registry").get(name).cloned()
+    }
+
+    /// Snapshot of all tenants, in name order.
+    pub fn snapshot(&self) -> Vec<Arc<Tenant>> {
+        self.tenants
+            .read()
+            .expect("tenant registry")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Tenant names, in order.
+    pub fn names(&self) -> Vec<String> {
+        self.tenants
+            .read()
+            .expect("tenant registry")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Atomically reload one tenant: re-read its source, rebuild the
+    /// index *outside* any lock, then swap the `Arc` in. In-flight
+    /// readers holding the old `Arc` are unaffected. Returns the new
+    /// tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::UnknownTenant`] or a [`TenantError::Load`] (the
+    /// old generation stays serving on load failure).
+    pub fn reload(&self, name: &str) -> Result<Arc<Tenant>, TenantError> {
+        let current = self
+            .get(name)
+            .ok_or_else(|| TenantError::UnknownTenant(name.to_string()))?;
+        let trace = load_source(&current.source)?;
+        let rebuilt = Arc::new(Tenant {
+            name: current.name.clone(),
+            generation: current.generation + 1,
+            source: current.source.clone(),
+            owned: OwnedIndex::new(trace),
+        });
+        let mut map = self.tenants.write().expect("tenant registry");
+        map.insert(name.to_string(), rebuilt.clone());
+        Ok(rebuilt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcfail_records::{DetailedCause, FailureRecord, NodeId, SystemId, Timestamp, Workload};
+
+    fn tiny_trace(n: u64) -> FailureTrace {
+        let records = (0..n)
+            .map(|i| {
+                let at = Timestamp::from_secs(1_000 + i * 7_200);
+                FailureRecord::new(
+                    SystemId::new(20),
+                    NodeId::new((i % 4) as u32),
+                    at,
+                    at + 600,
+                    Workload::Compute,
+                    DetailedCause::Memory,
+                )
+                .unwrap()
+            })
+            .collect();
+        FailureTrace::from_records(records)
+    }
+
+    #[test]
+    fn owned_index_survives_moves() {
+        let owned = OwnedIndex::new(tiny_trace(50));
+        let count_before = owned.index().all().len();
+        // Move it around (into a Vec, out again, into an Arc).
+        let mut v = vec![owned];
+        let owned = v.pop().unwrap();
+        let owned = Arc::new(owned);
+        assert_eq!(owned.index().all().len(), count_before);
+        assert_eq!(owned.trace().len(), 50);
+        assert_eq!(
+            owned.index().system(SystemId::new(20)).len(),
+            owned.trace().len()
+        );
+    }
+
+    #[test]
+    fn registry_insert_get_and_duplicate() {
+        let reg = TenantRegistry::new();
+        let src = TenantSource::Static(Arc::new(tiny_trace(10)));
+        reg.insert("a", src.clone()).unwrap();
+        assert!(matches!(
+            reg.insert("a", src),
+            Err(TenantError::DuplicateTenant(_))
+        ));
+        assert_eq!(reg.get("a").unwrap().len(), 10);
+        assert!(reg.get("b").is_none());
+        assert_eq!(reg.names(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn reload_bumps_generation_and_keeps_old_readers_valid() {
+        let reg = TenantRegistry::new();
+        reg.insert("t", TenantSource::Static(Arc::new(tiny_trace(25))))
+            .unwrap();
+        let old = reg.get("t").unwrap();
+        assert_eq!(old.generation, 1);
+        let new = reg.reload("t").unwrap();
+        assert_eq!(new.generation, 2);
+        // The old Arc still answers queries after the swap.
+        assert_eq!(old.index().all().len(), 25);
+        assert_eq!(reg.get("t").unwrap().generation, 2);
+        assert!(matches!(
+            reg.reload("missing"),
+            Err(TenantError::UnknownTenant(_))
+        ));
+    }
+
+    #[test]
+    fn file_tenant_reload_rereads_the_file() {
+        let dir = std::env::temp_dir().join("hpcfail_serve_tenant_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        hpcfail_records::io::write_csv(&tiny_trace(5), std::fs::File::create(&path).unwrap())
+            .unwrap();
+        let reg = TenantRegistry::new();
+        reg.insert("t", TenantSource::File(path.clone())).unwrap();
+        assert_eq!(reg.get("t").unwrap().len(), 5);
+        hpcfail_records::io::write_csv(&tiny_trace(9), std::fs::File::create(&path).unwrap())
+            .unwrap();
+        let new = reg.reload("t").unwrap();
+        assert_eq!(new.len(), 9);
+        assert_eq!(new.generation, 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Determinism contract of the serve load harness, mirroring
+//! `tests/parallel_determinism.rs`: the benchmark's request schedule
+//! and its percentile arithmetic are pure functions of the seed —
+//! `HPCFAIL_THREADS` (worker count) is a performance knob that can
+//! never change what the harness requests or reports.
+//!
+//! This pins the fix for the old harness bug where per-thread RNG state
+//! (think times drawn *while running*) made the request mix — and with
+//! it the p95/p99 latencies — depend on thread scheduling. Planning now
+//! happens up front through the exec crate's SplitMix64 seed streams,
+//! so replaying under any worker count issues the identical workload.
+
+use hpcfail::exec::ParallelExecutor;
+use hpcfail::serve::load::{
+    percentile_nearest_rank, plan_bytes, plan_client, plan_workload, PlannedRequest,
+};
+
+const SEEDS: [u64; 3] = [1, 42, 2026];
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+const CLIENTS: u64 = 64;
+const REQUESTS: usize = 50;
+
+/// Plan the workload *through the executor* with `workers` threads —
+/// the same shape the bench harness uses — and serialize it.
+fn planned_bytes_with_workers(seed: u64, workers: usize) -> Vec<u8> {
+    let exec = ParallelExecutor::with_workers(workers);
+    let plans: Vec<Vec<PlannedRequest>> = exec.map_range(CLIENTS as usize, |client| {
+        plan_client(seed, client as u64, REQUESTS, "synth")
+    });
+    plan_bytes(&plans)
+}
+
+#[test]
+fn load_plans_byte_identical_across_seeds_and_worker_counts() {
+    for seed in SEEDS {
+        let reference = planned_bytes_with_workers(seed, WORKER_COUNTS[0]);
+        assert!(!reference.is_empty());
+        for workers in &WORKER_COUNTS[1..] {
+            assert_eq!(
+                reference,
+                planned_bytes_with_workers(seed, *workers),
+                "seed {seed}: plan changed between 1 and {workers} workers"
+            );
+        }
+        // And the executor path agrees with the serial library path.
+        assert_eq!(
+            reference,
+            plan_bytes(&plan_workload(seed, CLIENTS, REQUESTS, "synth")),
+            "seed {seed}: executor plan diverged from serial plan"
+        );
+    }
+}
+
+#[test]
+fn distinct_seeds_give_distinct_plans() {
+    let a = planned_bytes_with_workers(SEEDS[0], 2);
+    let b = planned_bytes_with_workers(SEEDS[1], 2);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn client_schedules_are_independent_of_fleet_size() {
+    // Client 7's schedule is the same whether 8 or 64 clients fly —
+    // the property that lets the bench reuse one plan across phases.
+    let small = plan_workload(42, 8, REQUESTS, "synth");
+    let large = plan_workload(42, CLIENTS, REQUESTS, "synth");
+    assert_eq!(small[7], large[7]);
+}
+
+#[test]
+fn percentiles_are_order_and_thread_invariant() {
+    // Shuffle-invariance: nearest-rank sorts internally, so any
+    // completion order the worker pool produces reports identically.
+    let mut latencies: Vec<f64> = (0..997).map(|i| ((i * 7919) % 1000) as f64).collect();
+    let p50 = percentile_nearest_rank(&latencies, 0.50);
+    let p95 = percentile_nearest_rank(&latencies, 0.95);
+    let p99 = percentile_nearest_rank(&latencies, 0.99);
+    latencies.reverse();
+    assert_eq!(p50, percentile_nearest_rank(&latencies, 0.50));
+    assert_eq!(p95, percentile_nearest_rank(&latencies, 0.95));
+    assert_eq!(p99, percentile_nearest_rank(&latencies, 0.99));
+    assert!(p50 <= p95 && p95 <= p99);
+
+    // Golden pins on a known sample set.
+    let xs: Vec<f64> = (1..=1000).map(f64::from).collect();
+    assert_eq!(percentile_nearest_rank(&xs, 0.50), 500.0);
+    assert_eq!(percentile_nearest_rank(&xs, 0.95), 950.0);
+    assert_eq!(percentile_nearest_rank(&xs, 0.99), 990.0);
+}

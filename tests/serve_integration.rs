@@ -1,0 +1,218 @@
+//! End-to-end integration of `hpcfail serve`: boot a real server on an
+//! ephemeral port, load the bundled LANL-style fixture as a tenant, and
+//! assert that every endpoint's JSON body is **byte-identical** to
+//! rendering the same analysis computed directly through the library.
+//! The server can cache, shard, and reload however it likes — it must
+//! never change an answer.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+use hpcfail::analysis::{availability, findings, pernode, rates, repair, tbf};
+use hpcfail::prelude::*;
+use hpcfail::records::io_lanl::read_lanl_csv;
+use hpcfail::serve::{render, respond, spawn, AppState, ServeConfig, TenantSource};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/data/lanl_fixture.csv")
+}
+
+fn fixture_trace() -> &'static FailureTrace {
+    static TRACE: OnceLock<FailureTrace> = OnceLock::new();
+    TRACE.get_or_init(|| {
+        let file = std::fs::File::open(fixture_path()).expect("fixture exists");
+        read_lanl_csv(BufReader::new(file)).expect("fixture parses").trace
+    })
+}
+
+fn booted() -> (&'static AppState, SocketAddr) {
+    static SERVER: OnceLock<(Arc<AppState>, SocketAddr)> = OnceLock::new();
+    let (state, addr) = SERVER.get_or_init(|| {
+        let state = AppState::new();
+        state
+            .registry
+            .insert("lanl", TenantSource::LanlFile(fixture_path()))
+            .expect("fixture tenant");
+        let state = Arc::new(state);
+        let handle = spawn(state.clone(), &ServeConfig::default()).expect("bind ephemeral");
+        let addr = handle.addr();
+        // Keep the server alive for the whole test binary.
+        std::mem::forget(handle);
+        (state, addr)
+    });
+    (state, *addr)
+}
+
+/// Issue one HTTP request, return `(status, body)`.
+fn http(addr: SocketAddr, method: &str, target: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(format!("{method} {target} HTTP/1.1\r\nhost: test\r\n\r\n").as_bytes())
+        .expect("send");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("head/body split");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, body.to_string())
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    http(addr, "GET", target)
+}
+
+#[test]
+fn tbf_bodies_match_direct_library_calls() {
+    let (_, addr) = booted();
+    let index = fixture_trace().index();
+    let cases: [(&str, tbf::View, Option<(Timestamp, Timestamp)>); 4] = [
+        ("/v1/lanl/tbf", tbf::View::SystemWide(SystemId::new(20)), None),
+        (
+            "/v1/lanl/tbf?view=pooled",
+            tbf::View::PooledNodes(SystemId::new(20)),
+            None,
+        ),
+        (
+            "/v1/lanl/tbf?era=early",
+            tbf::View::SystemWide(SystemId::new(20)),
+            Some(tbf::paper_era_split().0),
+        ),
+        (
+            "/v1/lanl/tbf?era=late",
+            tbf::View::SystemWide(SystemId::new(20)),
+            Some(tbf::paper_era_split().1),
+        ),
+    ];
+    for (target, view, window) in cases {
+        let (status, body) = get(addr, target);
+        assert_eq!(status, 200, "{target}: {body}");
+        let direct = tbf::analyze_indexed(&index, view, window).expect("direct tbf");
+        assert_eq!(body, render::tbf_json(&direct).render(), "{target}");
+    }
+}
+
+#[test]
+fn repair_bodies_match_direct_library_calls() {
+    let (_, addr) = booted();
+    let index = fixture_trace().index();
+    let catalog = Catalog::lanl();
+
+    let (status, body) = get(addr, "/v1/lanl/repair");
+    assert_eq!(status, 200, "{body}");
+    let by_cause = repair::by_cause_indexed(&index).expect("by_cause");
+    let fit = repair::fit_all_repairs_indexed(&index).expect("fit");
+    let by_system = repair::by_system_indexed(&index, &catalog);
+    let effect = repair::type_effect(&by_system);
+    assert_eq!(
+        body,
+        render::repair_json(&by_cause, &fit, &by_system, &effect).render()
+    );
+
+    let (status, body) = get(addr, "/v1/lanl/repair?cause=hardware");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        body,
+        render::repair_cause_json(RootCause::Hardware, &by_cause).render()
+    );
+}
+
+#[test]
+fn rates_availability_pernode_findings_match_direct_library_calls() {
+    let (_, addr) = booted();
+    let index = fixture_trace().index();
+    let catalog = Catalog::lanl();
+
+    let (status, body) = get(addr, "/v1/lanl/rates");
+    assert_eq!(status, 200, "{body}");
+    let rate = rates::analyze_indexed(&index, &catalog).expect("rates");
+    assert_eq!(body, render::rates_json(&rate).render());
+
+    let (status, body) = get(addr, "/v1/lanl/rates?system=20");
+    assert_eq!(status, 200, "{body}");
+    let row = rate.system(SystemId::new(20)).expect("system 20 row");
+    assert_eq!(body, render::rate_system_json(row).render());
+
+    let (status, body) = get(addr, "/v1/lanl/availability");
+    assert_eq!(status, 200, "{body}");
+    let rows = availability::analyze_indexed(&index, &catalog).expect("availability");
+    let site = availability::site_availability_indexed(&index, &catalog).expect("site");
+    assert_eq!(body, render::availability_json(&rows, site).render());
+
+    let (status, body) = get(addr, "/v1/lanl/pernode");
+    assert_eq!(status, 200, "{body}");
+    let pn = pernode::analyze_indexed(&index, &catalog, SystemId::new(20)).expect("pernode");
+    assert_eq!(body, render::pernode_json(&pn).render());
+
+    let (status, body) = get(addr, "/v1/lanl/findings");
+    assert_eq!(status, 200, "{body}");
+    let f = findings::evaluate_indexed(&index, &catalog).expect("findings");
+    assert_eq!(body, render::findings_json(&f).render());
+}
+
+#[test]
+fn traces_and_healthz_report_the_tenant() {
+    let (_, addr) = booted();
+    let (status, body) = get(addr, "/v1/traces");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"name\":\"lanl\""), "{body}");
+    assert!(
+        body.contains(&format!("\"records\":{}", fixture_trace().len())),
+        "{body}"
+    );
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"hit_rate\":"), "{body}");
+}
+
+#[test]
+fn error_statuses_over_the_wire() {
+    let (_, addr) = booted();
+    for (target, want) in [
+        ("/v1/ghost/tbf", 404),
+        ("/v1/lanl/astrology", 404),
+        ("/nope", 404),
+        ("/v1/lanl/tbf?bogus=1", 400),
+        ("/v1/lanl/tbf?view=diagonal", 400),
+        ("/v1/lanl/rates?system=many", 400),
+    ] {
+        let (status, body) = get(addr, target);
+        assert_eq!(status, want, "{target}: {body}");
+        assert!(body.starts_with("{\"error\":{"), "{target}: {body}");
+    }
+    let (status, _) = http(addr, "POST", "/v1/lanl/tbf");
+    assert_eq!(status, 405);
+    let (status, _) = http(addr, "GET", "/v1/reload");
+    assert_eq!(status, 405);
+}
+
+#[test]
+fn reload_over_the_wire_bumps_generation_and_keeps_answers_identical() {
+    // A dedicated server so this test owns the generation counter.
+    let state = AppState::new();
+    state
+        .registry
+        .insert("lanl", TenantSource::LanlFile(fixture_path()))
+        .expect("fixture tenant");
+    let state = Arc::new(state);
+    let mut handle = spawn(state.clone(), &ServeConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    let (_, before) = get(addr, "/v1/lanl/pernode");
+    let (status, body) = http(addr, "POST", "/v1/reload?trace=lanl");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"generation\":2"), "{body}");
+    assert_eq!(state.registry.get("lanl").unwrap().generation, 2);
+    // Same source file — the reloaded tenant must give the same answer.
+    let (_, after) = get(addr, "/v1/lanl/pernode");
+    assert_eq!(before, after);
+
+    // Server responses and in-process routing agree.
+    let req = hpcfail::serve::parse_request(b"GET /v1/lanl/pernode HTTP/1.1\r\n\r\n").unwrap();
+    assert_eq!(&*respond(&state, &req).body, after);
+    handle.stop();
+}
