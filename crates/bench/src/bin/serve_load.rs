@@ -16,18 +16,24 @@
 //! cache hit; the run fails loudly if the hit rate lands under the 95%
 //! acceptance floor.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use hpcfail_exec::derive_stream_seed;
 use hpcfail_records::SystemId;
+use hpcfail_serve::chaos::{
+    backoff_delay, fetch, run_chaos, ChaosPlan, ChaosTiming, ControlTarget,
+};
 use hpcfail_serve::load::{percentile_nearest_rank, plan_workload, PlannedRequest};
-use hpcfail_serve::{spawn, AppState, Json, ServeConfig, TenantSource};
+use hpcfail_serve::{spawn, AppState, Json, NetFaultMix, ServeConfig, TenantSource};
 
 const SEED: u64 = 42;
 const TENANT: &str = "synth";
+/// Stream tag for per-client backoff jitter (distinct from the
+/// workload-planner streams in `hpcfail_serve::load`).
+const BACKOFF_STREAM: u64 = 0xB0FF_5EED;
 
 fn main() {
     let trace = hpcfail_synth::scenario::system_trace(SystemId::new(20), SEED)
@@ -45,8 +51,14 @@ fn main() {
 
     // Warm the cache once so the steady phases measure the served path,
     // not the first computation of each stratum.
+    let mut warm_rng = derive_stream_seed(SEED, BACKOFF_STREAM);
+    let mut warm = ClientRun {
+        latencies: Vec::new(),
+        retries: 0,
+        shed: 0,
+    };
     for req in &plan_workload(SEED, 1, 40, TENANT)[0] {
-        let _ = query(addr, &req.path);
+        let _ = query(addr, &req.path, &mut warm_rng, &mut warm);
     }
 
     let mut rows = Vec::new();
@@ -75,6 +87,21 @@ fn main() {
             reloads
         })),
     ));
+
+    // Degraded-mode phases: a seeded socket-level fault storm
+    // (`hpcfail_serve::chaos`) runs against the live server while clean
+    // control requests measure first-try availability and end-to-end
+    // latency (retries included, backoff honoring `retry-after`).
+    for (i, (mix_name, mix, rate)) in [
+        ("uniform", NetFaultMix::uniform(), 0.3),
+        ("trickle_heavy", NetFaultMix::trickle_heavy(), 0.7),
+        ("flood_heavy", NetFaultMix::flood_heavy(), 0.7),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        rows.push(run_chaos_phase(addr, i as u64, mix_name, mix, rate));
+    }
 
     let hits = state.cache.hits();
     let misses = state.cache.misses();
@@ -132,21 +159,26 @@ fn run_phase(
     let plan = plan_workload(SEED, clients, requests, TENANT);
     let stop = AtomicBool::new(false);
     let started = Instant::now();
-    let (latencies, reloads) = std::thread::scope(|scope| {
+    let (latencies, retries, shed, reloads) = std::thread::scope(|scope| {
         let stop = &stop;
         let disruptor_handle =
             disruptor.map(|d| scope.spawn(move || d(stop)));
         let client_handles: Vec<_> = plan
             .iter()
-            .map(|schedule| scope.spawn(move || run_client(addr, schedule)))
+            .enumerate()
+            .map(|(i, schedule)| scope.spawn(move || run_client(addr, i as u64, schedule)))
             .collect();
         let mut latencies = Vec::with_capacity(clients as usize * requests);
+        let (mut retries, mut shed) = (0u64, 0u64);
         for h in client_handles {
-            latencies.extend(h.join().expect("client thread"));
+            let client = h.join().expect("client thread");
+            latencies.extend(client.latencies);
+            retries += client.retries;
+            shed += client.shed;
         }
         stop.store(true, Ordering::Relaxed);
         let reloads = disruptor_handle.map(|h| h.join().expect("disruptor"));
-        (latencies, reloads)
+        (latencies, retries, shed, reloads)
     });
     let elapsed = started.elapsed().as_secs_f64();
     let total = clients as usize * requests;
@@ -168,6 +200,8 @@ fn run_phase(
             "p99_ms",
             Json::Num(percentile_nearest_rank(&latencies, 0.99)),
         ),
+        ("retries", Json::UInt(retries)),
+        ("shed", Json::UInt(shed)),
     ];
     let mut pairs: Vec<(&str, Json)> = row.into_iter().collect();
     if let Some(n) = reloads {
@@ -180,37 +214,147 @@ fn run_phase(
     Json::obj(pairs)
 }
 
-/// Replay one client's schedule; returns per-request latencies in ms.
-fn run_client(addr: SocketAddr, schedule: &[PlannedRequest]) -> Vec<f64> {
-    schedule
-        .iter()
-        .map(|req| {
-            std::thread::sleep(Duration::from_micros(req.think_micros));
-            let t0 = Instant::now();
-            let status = query(addr, &req.path);
-            let latency = t0.elapsed().as_secs_f64() * 1e3;
-            assert!(
-                status == 200 || status == 422,
-                "{}: unexpected status {status}",
-                req.path
-            );
-            latency
-        })
-        .collect()
+/// What one client observed across its schedule.
+struct ClientRun {
+    latencies: Vec<f64>,
+    retries: u64,
+    shed: u64,
 }
 
-/// One blocking HTTP GET; returns the status code.
-fn query(addr: SocketAddr, target: &str) -> u16 {
-    let mut conn = TcpStream::connect(addr).expect("connect");
-    conn.write_all(format!("GET {target} HTTP/1.1\r\nhost: bench\r\n\r\n").as_bytes())
-        .expect("send");
-    let mut raw = Vec::new();
-    conn.read_to_end(&mut raw).expect("read");
-    let head = String::from_utf8_lossy(&raw);
-    head.split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .expect("status line")
+/// Replay one client's schedule; latencies are end-to-end per planned
+/// request, retries included.
+fn run_client(addr: SocketAddr, client: u64, schedule: &[PlannedRequest]) -> ClientRun {
+    let mut rng = derive_stream_seed(SEED, BACKOFF_STREAM ^ client);
+    let mut run = ClientRun {
+        latencies: Vec::with_capacity(schedule.len()),
+        retries: 0,
+        shed: 0,
+    };
+    for req in schedule {
+        std::thread::sleep(Duration::from_micros(req.think_micros));
+        let t0 = Instant::now();
+        let status = query(addr, &req.path, &mut rng, &mut run);
+        run.latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(
+            status == 200 || status == 422,
+            "{}: unexpected status {status}",
+            req.path
+        );
+    }
+    run
+}
+
+/// One HTTP GET with jittered exponential backoff: a 503 shed honors
+/// the server's `retry-after` hint (capped so benches stay fast), a
+/// transient socket error retries on the same budget.
+fn query(addr: SocketAddr, target: &str, rng: &mut u64, run: &mut ClientRun) -> u16 {
+    let timing = ChaosTiming::default();
+    for attempt in 0..timing.retry_limit {
+        match fetch(addr, &timing, target) {
+            Ok((503, retry_after, _)) => {
+                run.shed += 1;
+                run.retries += 1;
+                std::thread::sleep(backoff_delay(attempt, retry_after, timing.backoff_cap, rng));
+            }
+            Ok((status, _, _)) => return status,
+            Err(e) => {
+                assert!(
+                    attempt + 1 < timing.retry_limit,
+                    "{target}: socket error after {attempt} retries: {e}"
+                );
+                run.retries += 1;
+                std::thread::sleep(backoff_delay(attempt, None, timing.backoff_cap, rng));
+            }
+        }
+    }
+    503
+}
+
+/// Byte-stable chaos control targets: the first few distinct planned
+/// paths whose fault-free answer is a 200 (422 strata answer
+/// deterministically too, but the chaos harness certifies byte
+/// identity on success bodies only).
+fn chaos_controls(addr: SocketAddr, timing: &ChaosTiming) -> Vec<ControlTarget> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut controls = Vec::new();
+    for req in &plan_workload(SEED, 1, 40, TENANT)[0] {
+        if controls.len() >= 6 {
+            break;
+        }
+        if !seen.insert(req.path.clone()) {
+            continue;
+        }
+        if let Ok((200, _, body)) = fetch(addr, timing, &req.path) {
+            controls.push(ControlTarget {
+                target: req.path.clone(),
+                expected: body,
+            });
+        }
+    }
+    controls
+}
+
+/// One degraded-mode phase: replay a seeded fault plan against the
+/// live server and record what the clean control requests saw.
+fn run_chaos_phase(addr: SocketAddr, index: u64, mix_name: &str, mix: NetFaultMix, rate: f64) -> Json {
+    let timing = ChaosTiming::default();
+    let controls = chaos_controls(addr, &timing);
+    assert!(!controls.is_empty(), "no 200 control targets in the pool");
+    let plan = ChaosPlan {
+        seed: derive_stream_seed(SEED, 0xC4A0_5000 + index),
+        rate,
+        mix,
+        ops: 64,
+        shuffle: true,
+    };
+    let started = Instant::now();
+    let report = run_chaos(addr, &timing, &plan, &controls, 8);
+    let elapsed = started.elapsed().as_secs_f64();
+    assert!(
+        report.mismatches.is_empty(),
+        "chaos {mix_name}: bodies bent: {:?}",
+        report.mismatches
+    );
+    assert!(
+        report.failures.is_empty(),
+        "chaos {mix_name}: controls starved: {:?}",
+        report.failures
+    );
+    assert!(
+        !report.control_latencies_ms.is_empty(),
+        "chaos {mix_name}: no control ever completed"
+    );
+    eprintln!(
+        "serve_load: phase=chaos mix={mix_name} rate={rate} done in {elapsed:.2}s \
+         (availability {:.3}, {} faults, {} shed)",
+        report.availability(),
+        report.faults,
+        report.shed_seen
+    );
+    Json::obj([
+        ("phase", Json::str("chaos")),
+        ("mode", Json::str("degraded")),
+        ("mix", Json::str(mix_name)),
+        ("fault_rate", Json::Num(rate)),
+        ("ops", Json::UInt(plan.ops as u64)),
+        ("controls", Json::UInt(report.controls)),
+        ("availability", Json::Num(report.availability())),
+        ("faults", Json::UInt(report.faults)),
+        ("shed", Json::UInt(report.shed_seen)),
+        ("retries", Json::UInt(report.retries)),
+        (
+            "p50_ms",
+            Json::Num(percentile_nearest_rank(&report.control_latencies_ms, 0.50)),
+        ),
+        (
+            "p95_ms",
+            Json::Num(percentile_nearest_rank(&report.control_latencies_ms, 0.95)),
+        ),
+        (
+            "p99_ms",
+            Json::Num(percentile_nearest_rank(&report.control_latencies_ms, 0.99)),
+        ),
+    ])
 }
 
 /// Current date as YYYY-MM-DD (UTC), from the system clock.

@@ -91,7 +91,10 @@ USAGE:
       tenant named after the file stem (--lanl reads them as LANL
       exports); --synth SEED adds a generated tenant named \"synth\"
       (whole site, or one system with --system). Port 0 picks an
-      ephemeral port; the bound address is printed on startup.
+      ephemeral port; the bound address is printed on startup. The
+      server runs until POST /v1/shutdown, then drains in-flight
+      requests and exits cleanly; overload is shed with 503 +
+      Retry-After, and slow or stalled requests are cut off with 408.
   hpcfail help
       Show this message.";
 
@@ -431,7 +434,10 @@ fn serve(
         let _ = std::io::stdout().flush();
     })
     .map_err(|e| run_err(format!("cannot serve: {e}")))?;
-    Ok(String::new())
+    // `run` only returns after `POST /v1/shutdown` triggers a graceful
+    // drain: the acceptor has stopped, in-flight requests finished (or
+    // were shed at the drain deadline), and every worker has joined.
+    Ok("hpcfail serve drained and stopped".to_string())
 }
 
 fn load(path: &PathBuf) -> Result<FailureTrace, CliError> {

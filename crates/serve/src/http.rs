@@ -359,6 +359,8 @@ pub struct Response {
     pub status: u16,
     /// JSON body.
     pub body: Arc<str>,
+    /// Optional `retry-after` header value in seconds (overload sheds).
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -367,6 +369,7 @@ impl Response {
         Response {
             status,
             body: body.into(),
+            retry_after: None,
         }
     }
 
@@ -383,10 +386,39 @@ impl Response {
         Response::json(status, body)
     }
 
+    /// A typed error body `{"error":{"code":…,"kind":…,"message":…}}` —
+    /// the `kind` is a stable machine-readable word (`"overloaded"`,
+    /// `"deadline"`, `"reload_failed"`) clients can branch on without
+    /// parsing prose.
+    pub fn error_kind(status: u16, kind: &str, message: &str) -> Response {
+        let body = crate::json::Json::obj([(
+            "error",
+            crate::json::Json::obj([
+                ("code", crate::json::Json::UInt(status as u64)),
+                ("kind", crate::json::Json::str(kind)),
+                ("message", crate::json::Json::str(message)),
+            ]),
+        )])
+        .render();
+        Response::json(status, body)
+    }
+
+    /// The overload-shed response: `503` with a `retry-after` hint so
+    /// well-behaved clients back off instead of hammering.
+    pub fn overloaded(retry_after_secs: u64, message: &str) -> Response {
+        let mut resp = Response::error_kind(503, "overloaded", message);
+        resp.retry_after = Some(retry_after_secs);
+        resp
+    }
+
     /// Serialize status line + headers + body to wire format.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let retry = self
+            .retry_after
+            .map(|secs| format!("retry-after: {secs}\r\n"))
+            .unwrap_or_default();
         let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n{retry}connection: close\r\n\r\n",
             self.status,
             status_text(self.status),
             self.body.len()
@@ -518,6 +550,19 @@ mod tests {
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
         assert!(text.contains("content-type: application/json"));
+        assert!(!text.contains("retry-after"));
         assert!(text.ends_with("{\"error\":{\"code\":404,\"message\":\"no such trace\"}}"));
+    }
+
+    #[test]
+    fn shed_response_carries_retry_after_and_kind() {
+        let resp = Response::overloaded(2, "server overloaded; retry");
+        let text = String::from_utf8(resp.to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 2\r\n"), "{text}");
+        assert!(text.contains("\"kind\":\"overloaded\""), "{text}");
+        let typed = Response::error_kind(408, "deadline", "request deadline exceeded");
+        assert!(typed.body.contains("\"kind\":\"deadline\""));
+        assert!(typed.retry_after.is_none());
     }
 }

@@ -17,8 +17,11 @@
 //! The stack, bottom to top: [`http`] (total request parser, hardened
 //! against malformed input), [`router`] (dispatch + stratum
 //! canonicalization + result cache), [`server`] (bounded accept queue
-//! and worker pool sized like the batch engine), and [`load`] (the
-//! deterministic load-harness planner used by `crates/bench`).
+//! and worker pool sized like the batch engine, with overload
+//! shedding, header/request deadlines, and graceful drain — counters
+//! in [`metrics`]), [`load`] (the deterministic load-harness planner
+//! used by `crates/bench`), and [`chaos`] (a seeded socket-level
+//! fault injector, the network sibling of the ingest corruptor).
 //!
 //! `POST /v1/reload` rebuilds a tenant *off to the side* and swaps an
 //! `Arc`, so reload never blocks in-flight readers; the generation
@@ -28,17 +31,21 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod http;
 pub mod json;
 pub mod load;
+pub mod metrics;
 pub mod render;
 pub mod router;
 pub mod server;
 pub mod tenant;
 
 pub use cache::{CacheKey, ResultCache};
+pub use chaos::{ChaosPlan, ChaosReport, NetFault, NetFaultMix};
 pub use http::{parse_request, HttpError, Method, Request, Response};
 pub use json::Json;
+pub use metrics::{DrainSignal, ServeMetrics};
 pub use router::{respond, AppState};
 pub use server::{run, spawn, ServeConfig, ServerHandle};
 pub use tenant::{OwnedIndex, Tenant, TenantError, TenantRegistry, TenantSource};

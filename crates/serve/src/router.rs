@@ -30,10 +30,12 @@ use hpcfail_records::{Catalog, NodeId, RootCause, SystemId};
 use crate::cache::{CacheKey, ResultCache};
 use crate::http::{Method, Request, Response};
 use crate::json::Json;
+use crate::metrics::{DrainSignal, ServeMetrics};
 use crate::render;
 use crate::tenant::{Tenant, TenantError, TenantRegistry};
 
-/// Shared server state: tenants, cache, catalog, request counter.
+/// Shared server state: tenants, cache, catalog, request counter,
+/// resilience metrics, and the graceful-drain latch.
 #[derive(Debug)]
 pub struct AppState {
     /// Named tenants.
@@ -44,6 +46,11 @@ pub struct AppState {
     pub catalog: Catalog,
     /// Total requests answered (including errors).
     pub requests: AtomicU64,
+    /// Resilience counters (in-flight, shed, deadlines, drain state).
+    pub metrics: ServeMetrics,
+    /// Graceful-drain latch; `POST /v1/shutdown` sets it and
+    /// [`crate::server::run`] waits on it.
+    pub drain: DrainSignal,
 }
 
 impl AppState {
@@ -54,6 +61,8 @@ impl AppState {
             cache: ResultCache::new(),
             catalog: Catalog::lanl(),
             requests: AtomicU64::new(0),
+            metrics: ServeMetrics::new(),
+            drain: DrainSignal::new(),
         }
     }
 }
@@ -275,6 +284,7 @@ fn handle_findings(state: &AppState, tenant: &Tenant) -> Response {
 }
 
 fn healthz(state: &AppState) -> Response {
+    let m = &state.metrics;
     let doc = Json::obj([
         ("status", Json::str("ok")),
         (
@@ -284,6 +294,24 @@ fn healthz(state: &AppState) -> Response {
         (
             "requests",
             Json::UInt(state.requests.load(Ordering::Relaxed)),
+        ),
+        (
+            "server",
+            Json::obj([
+                ("in_flight", Json::UInt(m.in_flight.load(Ordering::Relaxed))),
+                (
+                    "active_connections",
+                    Json::UInt(m.active_connections.load(Ordering::Relaxed)),
+                ),
+                ("accepted", Json::UInt(m.accepted.load(Ordering::Relaxed))),
+                ("shed", Json::UInt(m.shed.load(Ordering::Relaxed))),
+                (
+                    "deadline_hits",
+                    Json::UInt(m.deadline_hits.load(Ordering::Relaxed)),
+                ),
+                ("drain", Json::str(m.drain_state())),
+                ("uptime_ticks", Json::UInt(m.uptime_ticks())),
+            ]),
         ),
         (
             "cache",
@@ -296,6 +324,14 @@ fn healthz(state: &AppState) -> Response {
         ),
     ]);
     ok_json(&doc)
+}
+
+/// `POST /v1/shutdown`: request a graceful drain. The response goes out
+/// before the drain begins — the in-flight contract applies to this
+/// request too.
+fn shutdown(state: &AppState) -> Response {
+    state.drain.request();
+    ok_json(&Json::obj([("draining", Json::Bool(true))]))
 }
 
 fn traces(state: &AppState) -> Response {
@@ -335,6 +371,16 @@ fn reload(state: &AppState, req: &Request) -> Response {
             Err(TenantError::UnknownTenant(n)) => {
                 return Response::error(404, &format!("no such trace {n:?}"))
             }
+            // The old generation stays live and keeps serving (the
+            // registry never swapped); report a typed, retryable error.
+            Err(e @ (TenantError::Load(_) | TenantError::EmptyReload { .. })) => {
+                let generation = state.registry.get(name).map_or(0, |t| t.generation);
+                return Response::error_kind(
+                    503,
+                    "reload_failed",
+                    &format!("{e}; generation {generation} still serving"),
+                );
+            }
             Err(e) => return Response::error(500, &e.to_string()),
         }
     }
@@ -350,10 +396,13 @@ pub fn respond(state: &AppState, req: &Request) -> Response {
         (Method::Get, ["healthz"]) => healthz(state),
         (Method::Get, ["v1", "traces"]) => traces(state),
         (Method::Post, ["v1", "reload"]) => reload(state, req),
+        (Method::Post, ["v1", "shutdown"]) => shutdown(state),
         (Method::Post, ["healthz"] | ["v1", "traces"]) => {
             Response::error(405, "method not allowed; use GET")
         }
-        (Method::Get, ["v1", "reload"]) => Response::error(405, "method not allowed; use POST"),
+        (Method::Get, ["v1", "reload" | "shutdown"]) => {
+            Response::error(405, "method not allowed; use POST")
+        }
         (Method::Get, ["v1", trace, analysis]) => analyze(state, trace, analysis, req),
         (_, ["v1", _, _]) => Response::error(405, "method not allowed; use GET"),
         (Method::Other(_), _) => Response::error(405, "method not allowed"),

@@ -1,20 +1,37 @@
-//! The TCP accept loop and bounded worker pool.
+//! The TCP accept loop, bounded worker pool, and resilience layer.
 //!
 //! One acceptor thread pushes connections into a bounded queue; a fixed
 //! pool of workers (sized like the batch engine — `HPCFAIL_THREADS` or
 //! the CPU count, via [`hpcfail_exec::ParallelExecutor::from_env`])
 //! pops, reads one request under a deadline, answers through the
-//! router, and closes. Connections arriving while the queue is full get
-//! an immediate `503` instead of unbounded buffering — overload sheds
-//! rather than queues.
+//! router, and closes. The failure modes the paper studies are designed
+//! out rather than hoped away:
+//!
+//! * **Overload sheds, never queues unboundedly.** Connections arriving
+//!   while the queue is full or the in-flight cap is reached get an
+//!   immediate `503` with a `retry-after` hint, counted on
+//!   [`crate::metrics::ServeMetrics::shed`].
+//! * **Every request runs on a budget.** A short header-read deadline
+//!   defeats slow-loris clients trickling bytes to hold a worker
+//!   hostage; a whole-request deadline spans header read, body read,
+//!   compute, and write. Both answer `408` and count as
+//!   `deadline_hits`.
+//! * **Shutdown drains.** [`ServerHandle::stop`] stops accepting,
+//!   serves everything already accepted to completion under the drain
+//!   deadline (queued connections past the deadline are shed with
+//!   `503`, never silently dropped), then joins every thread — a client
+//!   that got a status line always gets the whole body.
+//!
+//! `tests/serve_chaos.rs` certifies all three under a seeded
+//! socket-level fault injector ([`crate::chaos`]).
 
 use std::collections::VecDeque;
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hpcfail_exec::ParallelExecutor;
 
@@ -32,8 +49,24 @@ pub struct ServeConfig {
     /// Pending-connection queue bound; beyond it new connections are
     /// shed with `503`.
     pub queue_depth: usize,
-    /// Per-connection read/write deadline.
+    /// Per-I/O-chunk read/write timeout (one `read`/`write` call).
     pub io_timeout: Duration,
+    /// Deadline for the complete request head to arrive. Short by
+    /// design: a slow-loris client trickling header bytes is cut off
+    /// with `408` when this expires.
+    pub header_deadline: Duration,
+    /// Whole-request budget spanning header read, body read, compute,
+    /// and response write.
+    pub request_deadline: Duration,
+    /// On [`ServerHandle::stop`], how long queued connections may keep
+    /// being served; past it they are shed with `503`. In-flight
+    /// requests always run to completion.
+    pub drain_deadline: Duration,
+    /// Cap on connections accepted but not yet answered (queued +
+    /// actively served); beyond it new connections are shed.
+    pub max_in_flight: usize,
+    /// `retry-after` value (seconds) sent with shed responses.
+    pub retry_after_secs: u64,
 }
 
 impl Default for ServeConfig {
@@ -43,6 +76,11 @@ impl Default for ServeConfig {
             workers: None,
             queue_depth: 256,
             io_timeout: Duration::from_secs(10),
+            header_deadline: Duration::from_secs(2),
+            request_deadline: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(5),
+            max_in_flight: 1024,
+            retry_after_secs: 1,
         }
     }
 }
@@ -50,14 +88,21 @@ impl Default for ServeConfig {
 struct Queue {
     deque: Mutex<VecDeque<TcpStream>>,
     ready: Condvar,
+    /// Set by `stop()`: the instant past which queued (not yet started)
+    /// connections are shed instead of served.
+    drain_until: Mutex<Option<Instant>>,
 }
 
 /// A running server: bound address plus a handle to stop it.
 pub struct ServerHandle {
     addr: SocketAddr,
+    state: Arc<AppState>,
+    config: ServeConfig,
     shutdown: Arc<AtomicBool>,
+    queue: Arc<Queue>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    panicked: usize,
 }
 
 impl ServerHandle {
@@ -66,18 +111,38 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Signal shutdown and join every thread. Idempotent.
+    /// Threads that panicked during serve or drain (chaos harness
+    /// acceptance: must stay 0). Populated by [`ServerHandle::stop`].
+    pub fn panicked(&self) -> usize {
+        self.panicked
+    }
+
+    /// Signal shutdown, drain, and join every thread. Idempotent.
+    ///
+    /// Accepting stops immediately; connections already accepted keep
+    /// being served until the drain deadline, after which queued ones
+    /// are shed with `503`. In-flight requests always complete — their
+    /// own request deadline bounds how long that takes — so no client
+    /// ever sees a truncated body on a clean shutdown.
     pub fn stop(&mut self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.state.metrics.draining.store(true, Ordering::SeqCst);
+        *self.queue.drain_until.lock().expect("drain deadline") =
+            Some(Instant::now() + self.config.drain_deadline);
         // Wake the blocking `accept` with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+            if acceptor.join().is_err() {
+                self.panicked += 1;
+            }
         }
+        self.queue.ready.notify_all();
         for worker in self.workers.drain(..) {
-            let _ = worker.join();
+            if worker.join().is_err() {
+                self.panicked += 1;
+            }
         }
     }
 }
@@ -104,26 +169,29 @@ pub fn spawn(state: Arc<AppState>, config: &ServeConfig) -> std::io::Result<Serv
     let queue = Arc::new(Queue {
         deque: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
+        drain_until: Mutex::new(None),
     });
+    state.metrics.mark_started();
 
     let mut worker_handles = Vec::with_capacity(workers);
     for i in 0..workers {
         let state = state.clone();
         let queue = queue.clone();
         let shutdown = shutdown.clone();
-        let io_timeout = config.io_timeout;
+        let config = config.clone();
         worker_handles.push(
             std::thread::Builder::new()
                 .name(format!("hpcfail-serve-{i}"))
-                .spawn(move || worker_loop(&state, &queue, &shutdown, io_timeout))
+                .spawn(move || worker_loop(&state, &queue, &shutdown, &config))
                 .expect("spawn worker"),
         );
     }
 
     let acceptor = {
+        let state = state.clone();
         let queue = queue.clone();
         let shutdown = shutdown.clone();
-        let depth = config.queue_depth;
+        let config = config.clone();
         std::thread::Builder::new()
             .name("hpcfail-serve-accept".to_string())
             .spawn(move || {
@@ -132,12 +200,17 @@ pub fn spawn(state: Arc<AppState>, config: &ServeConfig) -> std::io::Result<Serv
                         break;
                     }
                     let Ok(stream) = conn else { continue };
+                    let metrics = &state.metrics;
+                    let in_flight = metrics.in_flight.load(Ordering::Relaxed) as usize;
                     let mut deque = queue.deque.lock().expect("accept queue");
-                    if deque.len() >= depth {
+                    if deque.len() >= config.queue_depth || in_flight >= config.max_in_flight {
                         drop(deque);
-                        shed(stream);
+                        metrics.shed.fetch_add(1, Ordering::Relaxed);
+                        shed(stream, &config);
                         continue;
                     }
+                    metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                    metrics.in_flight.fetch_add(1, Ordering::Relaxed);
                     deque.push_back(stream);
                     drop(deque);
                     queue.ready.notify_one();
@@ -150,14 +223,20 @@ pub fn spawn(state: Arc<AppState>, config: &ServeConfig) -> std::io::Result<Serv
 
     Ok(ServerHandle {
         addr,
+        state,
+        config: config.clone(),
         shutdown,
+        queue,
         acceptor: Some(acceptor),
         workers: worker_handles,
+        panicked: 0,
     })
 }
 
-/// Bind and serve until the process exits (the CLI entry point).
-/// Calls `on_bind` with the bound address before accepting.
+/// Bind and serve until a graceful drain is requested — `POST
+/// /v1/shutdown` flips [`AppState::drain`] — then drain, join, and
+/// return (the CLI entry point). Calls `on_bind` with the bound address
+/// before accepting.
 ///
 /// # Errors
 ///
@@ -167,25 +246,22 @@ pub fn run(
     config: &ServeConfig,
     on_bind: impl FnOnce(SocketAddr),
 ) -> std::io::Result<()> {
-    let handle = spawn(state, config)?;
+    let mut handle = spawn(state.clone(), config)?;
     on_bind(handle.addr());
-    // Park forever; the threads own the work. Ctrl-C kills the process.
-    loop {
-        std::thread::park();
-    }
+    state.drain.wait();
+    handle.stop();
+    Ok(())
 }
 
-fn shed(mut stream: TcpStream) {
-    let resp = Response::error(503, "server overloaded; retry");
+/// Answer a shed connection with `503` + `retry-after` and close. Write
+/// timeouts are short: a shed peer never gets to block the acceptor.
+fn shed(mut stream: TcpStream, config: &ServeConfig) {
+    let _ = stream.set_write_timeout(Some(config.io_timeout.min(Duration::from_millis(250))));
+    let resp = Response::overloaded(config.retry_after_secs, "server overloaded; retry");
     let _ = stream.write_all(&resp.to_bytes());
 }
 
-fn worker_loop(
-    state: &AppState,
-    queue: &Queue,
-    shutdown: &AtomicBool,
-    io_timeout: Duration,
-) {
+fn worker_loop(state: &AppState, queue: &Queue, shutdown: &AtomicBool, config: &ServeConfig) {
     loop {
         let stream = {
             let mut deque = queue.deque.lock().expect("accept queue");
@@ -193,32 +269,82 @@ fn worker_loop(
                 if let Some(stream) = deque.pop_front() {
                     break stream;
                 }
+                // Drain contract: exit only once the queue is empty, so
+                // every accepted connection gets an answer.
                 if shutdown.load(Ordering::SeqCst) {
                     return;
                 }
                 let (guard, _) = queue
                     .ready
-                    .wait_timeout(deque, Duration::from_millis(100))
+                    .wait_timeout(deque, Duration::from_millis(50))
                     .expect("accept queue");
                 deque = guard;
             }
         };
-        if shutdown.load(Ordering::SeqCst) {
-            return;
+        let drain_expired = queue
+            .drain_until
+            .lock()
+            .expect("drain deadline")
+            .is_some_and(|until| Instant::now() >= until);
+        if drain_expired {
+            state.metrics.shed.fetch_add(1, Ordering::Relaxed);
+            shed(stream, config);
+        } else {
+            state
+                .metrics
+                .active_connections
+                .fetch_add(1, Ordering::Relaxed);
+            serve_connection(state, stream, config);
+            state
+                .metrics
+                .active_connections
+                .fetch_sub(1, Ordering::Relaxed);
         }
-        serve_connection(state, stream, io_timeout);
+        state.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The per-request budget: one clock spanning header read, body read,
+/// compute, and write, with the stricter header deadline layered on
+/// top while the head is still arriving.
+struct Budget {
+    start: Instant,
+    header_deadline: Duration,
+    request_deadline: Duration,
+}
+
+impl Budget {
+    fn new(config: &ServeConfig) -> Budget {
+        Budget {
+            start: Instant::now(),
+            header_deadline: config.header_deadline,
+            request_deadline: config.request_deadline,
+        }
+    }
+
+    /// Remaining whole-request budget; `None` once exhausted.
+    fn remaining_total(&self) -> Option<Duration> {
+        self.request_deadline.checked_sub(self.start.elapsed())
+    }
+
+    /// Remaining header budget (the tighter of the two while the head
+    /// is still arriving); `None` once exhausted.
+    fn remaining_header(&self) -> Option<Duration> {
+        let header = self.header_deadline.checked_sub(self.start.elapsed())?;
+        Some(header.min(self.remaining_total()?))
     }
 }
 
 /// Read one request off `stream`, answer it, close. All I/O errors are
-/// swallowed (the peer is gone); parse errors map to their 4xx.
-fn serve_connection(state: &AppState, mut stream: TcpStream, io_timeout: Duration) {
-    let _ = stream.set_read_timeout(Some(io_timeout));
-    let _ = stream.set_write_timeout(Some(io_timeout));
+/// swallowed (the peer is gone); parse errors map to their 4xx;
+/// deadline hits map to 408.
+fn serve_connection(state: &AppState, mut stream: TcpStream, config: &ServeConfig) {
+    let _ = stream.set_write_timeout(Some(config.io_timeout));
     let _ = stream.set_nodelay(true);
+    let budget = Budget::new(config);
 
     let mut drain = false;
-    let response = match read_request(&mut stream) {
+    let response = match read_request(&mut stream, &budget, config.io_timeout) {
         Ok(buf) => match parse_request(&buf) {
             Ok(req) => respond(state, &req),
             Err(err) => Response::error(err.status(), &err.to_string()),
@@ -229,8 +355,25 @@ fn serve_connection(state: &AppState, mut stream: TcpStream, io_timeout: Duratio
             drain = true;
             Response::error(431, &HttpError::RequestLineTooLong.to_string())
         }
+        Err(ReadOutcome::HeaderDeadline) => {
+            state.metrics.deadline_hits.fetch_add(1, Ordering::Relaxed);
+            Response::error_kind(408, "deadline", "header read deadline exceeded")
+        }
+        Err(ReadOutcome::RequestDeadline) => {
+            state.metrics.deadline_hits.fetch_add(1, Ordering::Relaxed);
+            Response::error_kind(408, "deadline", "request deadline exceeded")
+        }
         Err(ReadOutcome::Io) => return, // peer vanished; nothing to say
     };
+    // The write budget is whatever the request deadline left over, with
+    // a floor so a response we started is never truncated by our own
+    // clock — only the peer going away can cut it short.
+    let write_budget = budget
+        .remaining_total()
+        .unwrap_or(Duration::ZERO)
+        .max(Duration::from_millis(250))
+        .min(config.io_timeout);
+    let _ = stream.set_write_timeout(Some(write_budget));
     let _ = stream.write_all(&response.to_bytes());
     let _ = stream.flush();
     if drain {
@@ -238,6 +381,7 @@ fn serve_connection(state: &AppState, mut stream: TcpStream, io_timeout: Duratio
         let mut sink = [0u8; 4096];
         let mut drained = 0usize;
         // Bounded: stop at EOF, error, read timeout, or 4 MiB.
+        let _ = stream.set_read_timeout(Some(config.io_timeout.min(Duration::from_millis(250))));
         while drained < 4 * 1024 * 1024 {
             match stream.read(&mut sink) {
                 Ok(0) | Err(_) => break,
@@ -250,11 +394,19 @@ fn serve_connection(state: &AppState, mut stream: TcpStream, io_timeout: Duratio
 enum ReadOutcome {
     TooLarge,
     Io,
+    HeaderDeadline,
+    RequestDeadline,
 }
 
 /// Read until the end of headers (plus any `content-length` body up to
-/// the parser's limits). Bounded by [`MAX_HEAD`] + body cap.
-fn read_request(stream: &mut TcpStream) -> Result<Vec<u8>, ReadOutcome> {
+/// the parser's limits). Bounded three ways: by [`MAX_HEAD`] + body cap
+/// in bytes, by the header deadline while the head is arriving, and by
+/// the whole-request deadline throughout.
+fn read_request(
+    stream: &mut TcpStream,
+    budget: &Budget,
+    io_timeout: Duration,
+) -> Result<Vec<u8>, ReadOutcome> {
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     loop {
@@ -263,22 +415,45 @@ fn read_request(stream: &mut TcpStream) -> Result<Vec<u8>, ReadOutcome> {
             let declared = declared_body_len(&buf[..head_end]);
             let want = head_end + declared.min(http::MAX_BODY + 1);
             while buf.len() < want {
-                let n = stream.read(&mut chunk).map_err(|_| ReadOutcome::Io)?;
-                if n == 0 {
-                    return Ok(buf); // truncated body: parser rejects it
+                let Some(remaining) = budget.remaining_total() else {
+                    return Err(ReadOutcome::RequestDeadline);
+                };
+                match read_chunk(stream, &mut chunk, remaining.min(io_timeout))? {
+                    None => continue, // chunk timeout; deadline re-checked above
+                    Some(0) => return Ok(buf), // truncated body: parser rejects it
+                    Some(n) => buf.extend_from_slice(&chunk[..n]),
                 }
-                buf.extend_from_slice(&chunk[..n]);
             }
             return Ok(buf);
         }
         if buf.len() > MAX_HEAD {
             return Err(ReadOutcome::TooLarge);
         }
-        let n = stream.read(&mut chunk).map_err(|_| ReadOutcome::Io)?;
-        if n == 0 {
-            return Ok(buf); // EOF before end of head: parser rejects it
+        let Some(remaining) = budget.remaining_header() else {
+            return Err(ReadOutcome::HeaderDeadline);
+        };
+        match read_chunk(stream, &mut chunk, remaining.min(io_timeout))? {
+            None => continue, // chunk timeout; header deadline re-checked above
+            Some(0) => return Ok(buf), // EOF before end of head: parser rejects it
+            Some(n) => buf.extend_from_slice(&chunk[..n]),
         }
-        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// One bounded read. `Ok(None)` is a chunk timeout — not an error and
+/// not EOF; the caller loops and re-checks its deadline, which is what
+/// finally cuts a trickling peer off.
+fn read_chunk(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    timeout: Duration,
+) -> Result<Option<usize>, ReadOutcome> {
+    // set_read_timeout(Some(ZERO)) is an invalid argument; clamp up.
+    let _ = stream.set_read_timeout(Some(timeout.max(Duration::from_millis(1))));
+    match stream.read(chunk) {
+        Ok(n) => Ok(Some(n)),
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => Ok(None),
+        Err(_) => Err(ReadOutcome::Io),
     }
 }
 
@@ -355,6 +530,7 @@ mod tests {
         assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
         handle.stop();
         handle.stop(); // idempotent
+        assert_eq!(handle.panicked(), 0);
     }
 
     #[test]
@@ -375,5 +551,111 @@ mod tests {
         conn.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 431"), "{out}");
         handle.stop();
+    }
+
+    #[test]
+    fn slow_loris_is_cut_off_with_408() {
+        let state = tiny_state();
+        let mut handle = spawn(
+            state.clone(),
+            &ServeConfig {
+                workers: Some(2),
+                header_deadline: Duration::from_millis(80),
+                request_deadline: Duration::from_millis(400),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut conn = TcpStream::connect(handle.addr()).unwrap();
+        // Trickle one header byte at a time, slower than the deadline
+        // allows the head to complete.
+        let started = Instant::now();
+        for b in b"GET /healthz HTTP/1.1\r\nhost: loris\r\n" {
+            if conn.write_all(&[*b]).is_err() {
+                break; // server already cut us off
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            if started.elapsed() > Duration::from_secs(2) {
+                break;
+            }
+        }
+        let mut out = String::new();
+        let _ = conn.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 408"), "{out}");
+        assert!(out.contains("\"kind\":\"deadline\""), "{out}");
+        assert!(state.metrics.deadline_hits.load(Ordering::Relaxed) >= 1);
+        handle.stop();
+        assert_eq!(handle.panicked(), 0);
+    }
+
+    #[test]
+    fn in_flight_cap_sheds_with_retry_after() {
+        let state = tiny_state();
+        // One worker and an in-flight cap of one: a second concurrent
+        // connection must be shed, not queued.
+        let mut handle = spawn(
+            state.clone(),
+            &ServeConfig {
+                workers: Some(1),
+                queue_depth: 1,
+                max_in_flight: 1,
+                header_deadline: Duration::from_millis(300),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        // Occupy the only worker with a connection that never finishes
+        // its head.
+        let holder = TcpStream::connect(handle.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let reply = roundtrip(handle.addr(), "GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 503"), "{reply}");
+        assert!(reply.contains("retry-after: 1"), "{reply}");
+        assert!(reply.contains("\"kind\":\"overloaded\""), "{reply}");
+        assert!(state.metrics.shed.load(Ordering::Relaxed) >= 1);
+        drop(holder);
+        handle.stop();
+        assert_eq!(handle.panicked(), 0);
+        assert_eq!(state.metrics.in_flight.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn drain_completes_in_flight_and_zeroes_counters() {
+        let state = tiny_state();
+        let mut handle = spawn(
+            state.clone(),
+            &ServeConfig {
+                workers: Some(2),
+                drain_deadline: Duration::from_millis(500),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+        // A request already in flight when stop() lands must still get
+        // its complete body.
+        let client = std::thread::spawn(move || {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(b"GET /v1/t/findings HTTP/1.1\r\nhost: x\r\n\r\n")
+                .unwrap();
+            let mut out = String::new();
+            conn.read_to_string(&mut out).unwrap();
+            out
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        handle.stop();
+        let reply = client.join().unwrap();
+        let (head, body) = reply.split_once("\r\n\r\n").expect("head/body");
+        let declared: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(body.len(), declared, "drained response was truncated");
+        assert_eq!(handle.panicked(), 0);
+        assert_eq!(state.metrics.in_flight.load(Ordering::Relaxed), 0);
+        assert_eq!(state.metrics.active_connections.load(Ordering::Relaxed), 0);
+        assert_eq!(state.metrics.drain_state(), "draining");
     }
 }

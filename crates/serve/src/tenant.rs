@@ -114,6 +114,15 @@ pub enum TenantError {
     DuplicateTenant(String),
     /// Reading the source failed.
     Load(String),
+    /// A reload parsed to an empty trace while the live generation has
+    /// records — refused, so a truncated/corrupted source file can
+    /// never wipe a serving tenant.
+    EmptyReload {
+        /// The tenant whose reload was refused.
+        name: String,
+        /// Records in the generation kept serving.
+        live_records: usize,
+    },
 }
 
 impl std::fmt::Display for TenantError {
@@ -122,6 +131,11 @@ impl std::fmt::Display for TenantError {
             TenantError::UnknownTenant(name) => write!(f, "no such trace {name:?}"),
             TenantError::DuplicateTenant(name) => write!(f, "trace {name:?} already loaded"),
             TenantError::Load(msg) => write!(f, "cannot load trace: {msg}"),
+            TenantError::EmptyReload { name, live_records } => write!(
+                f,
+                "reload of trace {name:?} parsed to an empty trace; \
+                 refusing to replace the {live_records}-record generation"
+            ),
         }
     }
 }
@@ -213,13 +227,20 @@ impl TenantRegistry {
     ///
     /// # Errors
     ///
-    /// [`TenantError::UnknownTenant`] or a [`TenantError::Load`] (the
-    /// old generation stays serving on load failure).
+    /// [`TenantError::UnknownTenant`], a [`TenantError::Load`], or a
+    /// [`TenantError::EmptyReload`] — in every failure case the old
+    /// generation stays registered and keeps serving.
     pub fn reload(&self, name: &str) -> Result<Arc<Tenant>, TenantError> {
         let current = self
             .get(name)
             .ok_or_else(|| TenantError::UnknownTenant(name.to_string()))?;
         let trace = load_source(&current.source)?;
+        if trace.is_empty() && !current.is_empty() {
+            return Err(TenantError::EmptyReload {
+                name: name.to_string(),
+                live_records: current.len(),
+            });
+        }
         let rebuilt = Arc::new(Tenant {
             name: current.name.clone(),
             generation: current.generation + 1,
@@ -301,6 +322,33 @@ mod tests {
             reg.reload("missing"),
             Err(TenantError::UnknownTenant(_))
         ));
+    }
+
+    #[test]
+    fn reload_refuses_to_replace_records_with_an_empty_trace() {
+        let dir = std::env::temp_dir().join("hpcfail_serve_tenant_empty_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        hpcfail_records::io::write_csv(&tiny_trace(7), std::fs::File::create(&path).unwrap())
+            .unwrap();
+        let reg = TenantRegistry::new();
+        reg.insert("t", TenantSource::File(path.clone())).unwrap();
+        // The file is truncated to nothing (disk full, torn write, …):
+        // the reload must fail typed and the old generation must stay.
+        std::fs::write(&path, "").unwrap();
+        let err = reg.reload("t").unwrap_err();
+        assert!(
+            matches!(err, TenantError::EmptyReload { live_records: 7, .. }),
+            "{err:?}"
+        );
+        let live = reg.get("t").unwrap();
+        assert_eq!(live.generation, 1);
+        assert_eq!(live.len(), 7);
+        // An empty tenant may still reload to empty (no regression).
+        let empty = dir.join("empty.csv");
+        std::fs::write(&empty, "").unwrap();
+        reg.insert("e", TenantSource::File(empty)).unwrap();
+        assert_eq!(reg.reload("e").unwrap().generation, 2);
     }
 
     #[test]

@@ -61,6 +61,9 @@ cargo test --release -q -p hpcfail --test serve_http_proptests
 HPCFAIL_THREADS=1 cargo test --release -q -p hpcfail --test serve_determinism
 HPCFAIL_THREADS=8 cargo test --release -q -p hpcfail --test serve_determinism
 
+echo "==> serve chaos suite (seeded socket-fault sweep: sheds bounded, answers byte-identical, drain leaks nothing)"
+cargo test --release -q -p hpcfail --test serve_chaos
+
 echo "==> serve smoke (boot on an ephemeral port, probe, shut down)"
 cargo run --release -q -p hpcfail-cli --bin hpcfail -- \
     serve --synth 42 --system 20 --port 0 > "$tmpdir/serve.out" 2>&1 &
@@ -90,9 +93,31 @@ EOF
 }
 probe "$serve_url/healthz"
 probe "$serve_url/v1/synth/tbf?view=pooled"
-kill "$serve_pid"
+# Graceful shutdown over the signal path: POST /v1/shutdown drains
+# in-flight work and the process exits on its own — no kill needed.
+python3 - "$serve_url/v1/shutdown" <<'EOF'
+import sys, urllib.request
+req = urllib.request.Request(sys.argv[1], data=b"", method="POST")
+with urllib.request.urlopen(req, timeout=10) as resp:
+    assert resp.status == 200, resp.status
+    assert b"draining" in resp.read(), "shutdown must acknowledge the drain"
+EOF
+for _ in $(seq 1 50); do
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.2
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+    echo "FAIL: serve did not exit after POST /v1/shutdown" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
 wait "$serve_pid" 2>/dev/null || true
-echo "OK: serve boots, answers /healthz and a stratified analysis, and stops"
+grep -q "drained and stopped" "$tmpdir/serve.out" || {
+    echo "FAIL: serve exited without announcing a clean drain" >&2
+    cat "$tmpdir/serve.out" >&2
+    exit 1
+}
+echo "OK: serve boots, answers /healthz and a stratified analysis, and drains cleanly on POST /v1/shutdown"
 
 echo "==> serve load-harness numbers (experiments/BENCH_serve.json)"
 if command -v python3 >/dev/null 2>&1; then
@@ -106,12 +131,31 @@ assert steady == {1, 8, 64}, f"steady rows must cover 1/8/64 clients: {steady}"
 reload_rows = [row for row in rows if row["phase"] == "reload"]
 assert reload_rows and reload_rows[0]["reloads"] >= 1, "need a mid-run reload row"
 for row in rows:
-    for field in ("req_per_sec", "p50_ms", "p95_ms", "p99_ms"):
-        assert row[field] > 0, f"{row['phase']}/{row['clients']}: bad {field}"
+    fields = ("p50_ms", "p95_ms", "p99_ms")
+    if row["phase"] != "chaos":
+        fields += ("req_per_sec",)
+    for field in fields:
+        assert row[field] > 0, f"{row['phase']}: bad {field}"
+chaos = [row for row in rows if row["phase"] == "chaos"]
+assert len(chaos) >= 3, f"need degraded-mode (chaos) rows, got {len(chaos)}"
+mixes = {row["mix"] for row in chaos}
+assert {"uniform", "trickle_heavy", "flood_heavy"} <= mixes, f"chaos mixes: {mixes}"
+for row in chaos:
+    assert row["mode"] == "degraded", row
+    assert 0 < row["fault_rate"] <= 1, row
+    assert row["faults"] > 0, f"chaos/{row['mix']}: no faults injected"
+    assert row["controls"] > 0, f"chaos/{row['mix']}: no clean controls measured"
+    # Degraded-mode floor: even under a 70% fault storm, at least half
+    # of the clean requests must succeed on the first try (and the bin
+    # itself asserts every one succeeds within its retry budget).
+    assert row["availability"] >= 0.5, \
+        f"chaos/{row['mix']}: first-try availability {row['availability']}"
 rate = doc["cache"]["hit_rate"]
 assert rate >= 0.95, f"recorded cache hit rate below the 95% floor: {rate}"
+worst = min(row["availability"] for row in chaos)
 print(f"OK: BENCH_serve.json parses; hit rate {rate:.3f}, "
-      f"{len(rows)} phase rows incl. reload ({reload_rows[0]['reloads']} reloads)")
+      f"{len(rows)} phase rows incl. reload ({reload_rows[0]['reloads']} reloads) "
+      f"and {len(chaos)} degraded-mode rows (worst availability {worst:.3f})")
 EOF
 else
     grep -q '"hit_rate"' experiments/BENCH_serve.json

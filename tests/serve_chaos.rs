@@ -1,0 +1,260 @@
+//! Socket-level chaos sweep against a real `hpcfail serve` instance.
+//!
+//! Each cell of the sweep boots a fresh server with tight deadlines and
+//! a small queue, records the fault-free body of every control target,
+//! then replays a seeded [`ChaosPlan`] — connect-then-idle holds,
+//! trickled headers, partial requests cut with RST, mid-response
+//! aborts, oversized floods, and corrupted bytes — interleaved with
+//! clean control requests. The contract under fire:
+//!
+//! * the server never panics and never leaks a worker;
+//! * shedding is bounded and typed (503 + `retry-after`), never a hang;
+//! * every clean request that gets a `200` is **byte-identical** to the
+//!   fault-free answer — chaos may slow the truth down, never bend it;
+//! * after a graceful drain, every counter returns to zero.
+//!
+//! The plan expansion is a pure function of `(seed, rate, mix, ops)`,
+//! so any failing cell replays exactly from its printed parameters.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hpcfail::serve::chaos::{
+    fetch, plan_ops, run_chaos, ChaosOp, ChaosPlan, ChaosTiming, ControlTarget, NetFaultMix,
+};
+use hpcfail::serve::{spawn, AppState, ServeConfig, ServerHandle, TenantSource};
+
+const SEED: u64 = 0xD5E_C0DE;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/data/lanl_fixture.csv")
+}
+
+/// A deliberately cramped server: two workers, a four-deep queue, and
+/// deadlines short enough that every fault is cut off in milliseconds.
+fn chaos_config() -> ServeConfig {
+    ServeConfig {
+        workers: Some(2),
+        queue_depth: 4,
+        max_in_flight: 6,
+        io_timeout: Duration::from_millis(150),
+        header_deadline: Duration::from_millis(60),
+        request_deadline: Duration::from_millis(300),
+        drain_deadline: Duration::from_millis(500),
+        retry_after_secs: 1,
+        ..ServeConfig::default()
+    }
+}
+
+fn boot() -> (Arc<AppState>, ServerHandle) {
+    let state = AppState::new();
+    state
+        .registry
+        .insert("lanl", TenantSource::LanlFile(fixture_path()))
+        .expect("fixture tenant");
+    let state = Arc::new(state);
+    let handle = spawn(state.clone(), &chaos_config()).expect("bind ephemeral");
+    (state, handle)
+}
+
+/// Byte-stable control targets (no `/healthz` here: its counters move
+/// by design, so it cannot be a byte-identity control).
+fn control_targets(addr: SocketAddr, timing: &ChaosTiming) -> Vec<ControlTarget> {
+    ["/v1/traces", "/v1/lanl/findings", "/v1/lanl/tbf", "/v1/lanl/rates"]
+        .into_iter()
+        .map(|target| {
+            let (status, _, body) = fetch(addr, timing, target).expect("fault-free fetch");
+            assert_eq!(status, 200, "fault-free {target} must be 200");
+            ControlTarget {
+                target: target.to_string(),
+                expected: body,
+            }
+        })
+        .collect()
+}
+
+fn assert_quiescent(state: &AppState, handle: &ServerHandle, cell: &str) {
+    assert_eq!(handle.panicked(), 0, "{cell}: worker panicked");
+    assert_eq!(
+        state.metrics.in_flight.load(Ordering::SeqCst),
+        0,
+        "{cell}: in-flight requests leaked"
+    );
+    assert_eq!(
+        state.metrics.active_connections.load(Ordering::SeqCst),
+        0,
+        "{cell}: active connections leaked"
+    );
+}
+
+/// The full sweep: fault rates × fault mixes, shuffle alternating.
+/// One test (not nine) so a single server boot amortizes per cell and
+/// a failure prints the whole grid position.
+#[test]
+fn chaos_sweep_never_panics_and_never_bends_an_answer() {
+    let timing = ChaosTiming {
+        io_timeout: Duration::from_millis(500),
+        retry_limit: 12,
+        ..ChaosTiming::default()
+    };
+    let mixes: [(&str, NetFaultMix); 3] = [
+        ("uniform", NetFaultMix::uniform()),
+        ("trickle_heavy", NetFaultMix::trickle_heavy()),
+        ("flood_heavy", NetFaultMix::flood_heavy()),
+    ];
+    for (cell_index, (rate, (mix_name, mix))) in [0.0, 0.5, 1.0]
+        .into_iter()
+        .flat_map(|r| mixes.clone().into_iter().map(move |m| (r, m)))
+        .enumerate()
+    {
+        let plan = ChaosPlan {
+            seed: SEED ^ cell_index as u64,
+            rate,
+            mix,
+            ops: 32,
+            shuffle: cell_index % 2 == 1,
+        };
+        let cell = format!("cell {cell_index} (rate {rate}, mix {mix_name})");
+        let (state, mut handle) = boot();
+        let controls = control_targets(handle.addr(), &timing);
+
+        let planned_faults = plan_ops(&plan, controls.len())
+            .iter()
+            .filter(|op| matches!(op, ChaosOp::Fault { .. }))
+            .count() as u64;
+        let report = run_chaos(handle.addr(), &timing, &plan, &controls, 4);
+
+        assert_eq!(report.faults, planned_faults, "{cell}: fault count drifted");
+        assert!(
+            report.mismatches.is_empty(),
+            "{cell}: 200 bodies bent under chaos: {:?}",
+            report.mismatches
+        );
+        assert!(
+            report.failures.is_empty(),
+            "{cell}: controls starved out: {:?}",
+            report.failures
+        );
+        if rate == 0.0 {
+            assert_eq!(report.shed_seen, 0, "{cell}: shed with no faults");
+            assert!(
+                (report.availability() - 1.0).abs() < f64::EPSILON,
+                "{cell}: fault-free availability {}",
+                report.availability()
+            );
+        }
+
+        // The server must answer cleanly *after* the storm too.
+        for control in &controls {
+            let (status, _, body) =
+                fetch(handle.addr(), &timing, &control.target).expect("post-chaos fetch");
+            assert_eq!(status, 200, "{cell}: {} after chaos", control.target);
+            assert_eq!(body, control.expected, "{cell}: {} drifted", control.target);
+        }
+
+        handle.stop();
+        assert_quiescent(&state, &handle, &cell);
+    }
+}
+
+/// Same plan, same ops — the sweep is replayable from its parameters.
+#[test]
+fn chaos_plans_replay_deterministically() {
+    let plan = ChaosPlan {
+        shuffle: true,
+        ..ChaosPlan::new(SEED, 0.6)
+    };
+    assert_eq!(plan_ops(&plan, 4), plan_ops(&plan, 4));
+    let unshuffled = ChaosPlan {
+        shuffle: false,
+        ..plan
+    };
+    assert_ne!(
+        plan_ops(&plan, 4),
+        plan_ops(&unshuffled, 4),
+        "shuffle must permute a mixed plan"
+    );
+}
+
+/// Read one full HTTP response off an open connection; returns
+/// `(status, content_length, body_len)` or `None` on connection error.
+fn read_response(conn: &mut TcpStream) -> Option<(u16, usize, usize)> {
+    let mut reader = BufReader::new(conn);
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).ok()? == 0 {
+            return None;
+        }
+        if line == "\r\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
+    let content_length: usize = head.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.eq_ignore_ascii_case("content-length")
+            .then(|| value.trim().parse().ok())?
+    })?;
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    Some((status, content_length, body.len()))
+}
+
+/// A graceful drain never truncates a body: clients hammering the
+/// server across `stop()` see either a complete response (200 with its
+/// full `content-length`, or a complete 503 shed) or a clean
+/// connection error — never a partial 200.
+#[test]
+fn drain_never_truncates_a_response_mid_body() {
+    let (state, mut handle) = boot();
+    let addr = handle.addr();
+    let stop_flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let stop_flag = stop_flag.clone();
+            std::thread::spawn(move || {
+                let mut complete = 0u64;
+                while !stop_flag.load(Ordering::SeqCst) {
+                    let Ok(mut conn) =
+                        TcpStream::connect_timeout(&addr, Duration::from_millis(500))
+                    else {
+                        break;
+                    };
+                    let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+                    if conn
+                        .write_all(b"GET /v1/lanl/findings HTTP/1.1\r\nhost: t\r\n\r\n")
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    match read_response(&mut conn) {
+                        Some((status, want, got)) => {
+                            assert_eq!(got, want, "truncated body on a {status}");
+                            complete += 1;
+                        }
+                        // Connection refused/reset between requests is a
+                        // clean outcome; a torn body would have tripped
+                        // read_response's read_exact above.
+                        None => continue,
+                    }
+                }
+                complete
+            })
+        })
+        .collect();
+
+    // Let the clients get in flight, then pull the plug mid-traffic.
+    std::thread::sleep(Duration::from_millis(150));
+    handle.stop();
+    stop_flag.store(true, Ordering::SeqCst);
+    let total: u64 = clients.into_iter().map(|c| c.join().expect("client")).sum();
+    assert!(total > 0, "clients never completed a request before drain");
+    assert_quiescent(&state, &handle, "drain test");
+    assert_eq!(state.metrics.drain_state(), "draining");
+}

@@ -105,8 +105,10 @@ proptest! {
         match parse_request(&bytes) {
             Ok(req) => {
                 let resp = respond(state(), &req);
+                // 503 is the typed `reload_failed` envelope: a corrupted
+                // method byte can turn a GET into POST /v1/reload.
                 prop_assert!(
-                    matches!(resp.status, 200 | 400 | 404 | 405 | 422 | 500),
+                    matches!(resp.status, 200 | 400 | 404 | 405 | 422 | 500 | 503),
                     "unexpected status {}",
                     resp.status
                 );
@@ -130,11 +132,26 @@ proptest! {
         let raw = format!("{method} /{path}?{query} HTTP/1.1\r\n\r\n");
         if let Ok(req) = parse_request(raw.as_bytes()) {
             let resp = respond(state(), &req);
-            prop_assert!(matches!(resp.status, 200 | 400 | 404 | 405 | 422 | 500));
+            prop_assert!(matches!(resp.status, 200 | 400 | 404 | 405 | 422 | 500 | 503));
             if resp.status >= 400 {
                 prop_assert!(resp.body.starts_with("{\"error\":{"), "{}", resp.body);
             }
         }
+    }
+
+    /// Slow-loris at the parser level: every proper prefix of a valid
+    /// request (the head terminator not yet arrived) is diagnosed as
+    /// `Incomplete` — the read loop keeps waiting for bytes (until its
+    /// header deadline fires) instead of misparsing a torn head.
+    #[test]
+    fn prefixes_of_valid_requests_are_incomplete(seed in 0u64..u64::MAX, cut in 0usize..256) {
+        let bytes = valid_request(seed);
+        let cut = cut % (bytes.len() - 1);
+        match parse_request(&bytes[..cut]) {
+            Err(hpcfail::serve::HttpError::Incomplete) => {}
+            other => prop_assert!(false, "prefix of {cut} bytes: {other:?}"),
+        }
+        prop_assert!(parse_request(&bytes).is_ok(), "the whole request must parse");
     }
 
     /// Percent-decoding is total and correct on round-trips.

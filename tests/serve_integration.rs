@@ -167,6 +167,11 @@ fn traces_and_healthz_report_the_tenant() {
     assert_eq!(status, 200);
     assert!(body.contains("\"status\":\"ok\""), "{body}");
     assert!(body.contains("\"hit_rate\":"), "{body}");
+    // The resilience counters ride along: a live server is "serving"
+    // with nothing shed and no request leaked in flight.
+    assert!(body.contains("\"drain\":\"serving\""), "{body}");
+    assert!(body.contains("\"shed\":"), "{body}");
+    assert!(body.contains("\"uptime_ticks\":"), "{body}");
 }
 
 #[test]
@@ -215,4 +220,119 @@ fn reload_over_the_wire_bumps_generation_and_keeps_answers_identical() {
     let req = hpcfail::serve::parse_request(b"GET /v1/lanl/pernode HTTP/1.1\r\n\r\n").unwrap();
     assert_eq!(&*respond(&state, &req).body, after);
     handle.stop();
+}
+
+/// The regression the chaos work started from: reloading a tenant whose
+/// source file turned unreadable, corrupt, or empty must keep the old
+/// generation serving byte-identical answers and report a typed error —
+/// never wipe a live index.
+#[test]
+fn reload_against_a_damaged_file_keeps_the_old_generation_serving() {
+    let dir = std::env::temp_dir().join(format!("hpcfail-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("tenant.csv");
+    let pristine = std::fs::read(fixture_path()).expect("fixture bytes");
+    std::fs::write(&path, &pristine).expect("seed tenant file");
+
+    let state = AppState::new();
+    state
+        .registry
+        .insert("flaky", TenantSource::LanlFile(path.clone()))
+        .expect("tenant");
+    let state = Arc::new(state);
+    let mut handle = spawn(state.clone(), &ServeConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    let (status, before) = get(addr, "/v1/flaky/findings");
+    assert_eq!(status, 200, "{before}");
+
+    let damage: [(&str, Box<dyn Fn()>); 3] = [
+        (
+            "corrupt",
+            Box::new(|| std::fs::write(&path, b"\xff\xfe not a csv at all\n@@@").unwrap()),
+        ),
+        ("empty", Box::new(|| std::fs::write(&path, b"").unwrap())),
+        (
+            "unreadable",
+            Box::new(|| {
+                let _ = std::fs::remove_file(&path);
+            }),
+        ),
+    ];
+    for (kind, inflict) in &damage {
+        inflict();
+        let (status, body) = http(addr, "POST", "/v1/reload?trace=flaky");
+        assert_eq!(status, 503, "{kind}: {body}");
+        assert!(body.starts_with("{\"error\":{"), "{kind}: {body}");
+        assert!(body.contains("\"kind\":\"reload_failed\""), "{kind}: {body}");
+        assert_eq!(
+            state.registry.get("flaky").unwrap().generation,
+            1,
+            "{kind}: generation must not move on a failed reload"
+        );
+        let (status, after) = get(addr, "/v1/flaky/findings");
+        assert_eq!(status, 200, "{kind}: {after}");
+        assert_eq!(before, after, "{kind}: old generation's answer drifted");
+    }
+
+    // Repair the file: the next reload succeeds and bumps the generation.
+    std::fs::write(&path, &pristine).expect("restore tenant file");
+    let (status, body) = http(addr, "POST", "/v1/reload?trace=flaky");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"generation\":2"), "{body}");
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A client that half-closes its write side after sending a complete
+/// request still gets the complete response: the server treats EOF
+/// after a full head as end-of-request, not as an aborted connection.
+#[test]
+fn half_close_after_a_complete_request_still_gets_the_full_body() {
+    let (_, addr) = booted();
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(b"GET /v1/lanl/findings HTTP/1.1\r\nhost: t\r\n\r\n")
+        .expect("send");
+    conn.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("head/body split");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let want: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length: "))
+        .and_then(|v| v.parse().ok())
+        .expect("content-length");
+    assert_eq!(body.len(), want, "half-close truncated the body");
+    let (_, direct) = get(addr, "/v1/lanl/findings");
+    assert_eq!(body, direct, "half-close changed the answer");
+}
+
+/// Every response — errors included — advertises `connection: close`
+/// and the server actually closes, so a client pipelining a second
+/// request after an error reads EOF instead of a stale answer.
+#[test]
+fn connections_close_after_a_response_and_never_serve_a_second_request() {
+    let (_, addr) = booted();
+    for first in [
+        "GET /v1/lanl/tbf HTTP/1.1\r\nhost: t\r\n\r\n",       // 200
+        "GET /v1/lanl/tbf?bogus=1 HTTP/1.1\r\nhost: t\r\n\r\n", // 400
+        "WIBBLE / HTTP/1.1\r\nhost: t\r\n\r\n",               // parse error
+    ] {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.write_all(first.as_bytes()).expect("send first");
+        // Optimistically pipeline a second request; the server must
+        // answer the first and close without touching the second.
+        let _ = conn.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
+        conn.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .expect("timeout");
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).expect("read to EOF");
+        assert!(raw.contains("connection: close"), "{first:?}: {raw}");
+        assert_eq!(
+            raw.matches("HTTP/1.1 ").count(),
+            1,
+            "{first:?}: one connection must serve exactly one response"
+        );
+    }
 }
