@@ -39,6 +39,19 @@ const LANCZOS_COEF: [f64; 9] = [
 /// assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-12);
 /// ```
 ///
+/// # Edge cases
+///
+/// Pinned by unit tests so the chunked batch path cannot drift:
+///
+/// * `±0.0` and negative integers are poles → `NAN` (signals an invalid
+///   distribution parameter rather than the `+∞` of the limit);
+/// * `+∞` → `+∞` (the naïve Lanczos tail evaluates `∞ − ∞` = NaN, so the
+///   guard below short-circuits it);
+/// * `-∞` and `NAN` → `NAN`;
+/// * positive subnormals take the reflection path and return a finite
+///   value (≈ `-ln x`, about `744.4` at the smallest subnormal) — no
+///   overflow, no NaN.
+///
 /// # Panics
 ///
 /// Does not panic; returns `f64::NAN` for non-positive integers and
@@ -47,8 +60,12 @@ pub fn ln_gamma(x: f64) -> f64 {
     if x.is_nan() {
         return f64::NAN;
     }
+    if x == f64::INFINITY {
+        // lim_{x→∞} ln Γ(x) = ∞; the Lanczos tail would compute ∞ − ∞.
+        return f64::INFINITY;
+    }
     if x <= 0.0 && x.fract() == 0.0 {
-        return f64::NAN; // pole at non-positive integers
+        return f64::NAN; // pole at non-positive integers (and ±0.0)
     }
     if x < 0.5 {
         // Reflection: Γ(x)Γ(1-x) = π / sin(πx)
@@ -58,6 +75,15 @@ pub fn ln_gamma(x: f64) -> f64 {
         }
         return std::f64::consts::PI.ln() - s.abs().ln() - ln_gamma(1.0 - x);
     }
+    ln_gamma_lanczos(x)
+}
+
+/// The Lanczos main path of [`ln_gamma`], valid for finite `x ≥ 0.5`:
+/// a fixed-trip 8-term rational accumulation the chunked slice path can
+/// unroll. Shared by scalar and batch so the two are bit-identical by
+/// construction.
+#[inline]
+fn ln_gamma_lanczos(x: f64) -> f64 {
     let x = x - 1.0;
     let mut acc = LANCZOS_COEF[0];
     for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
@@ -65,6 +91,28 @@ pub fn ln_gamma(x: f64) -> f64 {
     }
     let t = x + LANCZOS_G + 0.5;
     0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Chunked batch `ln Γ`: writes `ln_gamma(xs[i])` into `out[i]`.
+///
+/// Elements on the finite main domain `x ≥ 0.5` go through the
+/// fixed-trip Lanczos kernel inside bounds-check-free chunks; elements
+/// needing reflection, pole, or non-finite handling (`x < 0.5`, `±∞`,
+/// `NAN`) fall back to the scalar [`ln_gamma`] per element. Every output
+/// is bit-identical to the scalar function — the edge cases documented
+/// there are handled, not leaked into the chunk as NaNs.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn ln_gamma_slice(xs: &[f64], out: &mut [f64]) {
+    crate::dist::map_chunked(xs, out, |x| {
+        if x >= 0.5 && x != f64::INFINITY {
+            ln_gamma_lanczos(x)
+        } else {
+            ln_gamma(x)
+        }
+    });
 }
 
 /// The gamma function `Γ(x)`.
@@ -148,6 +196,14 @@ pub fn trigamma(x: f64) -> f64 {
 /// (sufficient for CDF plotting) via the Numerical Recipes `erfc`
 /// Chebyshev fit, refined by one Newton step against the exact derivative
 /// to reach ~1e-12 near the center.
+///
+/// # Edge cases
+///
+/// Computed as `1 − erfc(x)`, so `erf(±0.0)` is a zero within one ulp of
+/// `+0.0` but does **not** preserve the sign of `-0.0`, and subnormal
+/// arguments round to `0.0` (absolute error ≤ 1e-15, the approximation's
+/// floor). `erf(+∞) = 1`, `erf(-∞) = -1`, `erf(NAN) = NAN` — never a NaN
+/// from a finite argument. Pinned by unit tests alongside [`erfc`]'s.
 pub fn erf(x: f64) -> f64 {
     1.0 - erfc(x)
 }
@@ -156,7 +212,48 @@ pub fn erf(x: f64) -> f64 {
 ///
 /// Chebyshev-fit approximation (Numerical Recipes 6.2.2), accurate to
 /// better than 1e-12 over the useful range.
+///
+/// # Edge cases
+///
+/// The kernel is total over the extended reals, which is what lets the
+/// chunked [`erfc_slice`] stay branch-free (the final sign fold is a
+/// select): `erfc(±0.0) = 1` (both zero signs take the non-negative
+/// fold), subnormals behave as `±0.0`, `erfc(+∞) = 0` exactly (the
+/// Chebyshev prefactor `t = 2/(2+|x|)` underflows to `0` and the
+/// exponential underflows with it — `0 · 0`, not `0 · ∞`),
+/// `erfc(-∞) = 2` exactly, and `NAN` propagates. Pinned by unit tests.
 pub fn erfc(x: f64) -> f64 {
+    erfc_kernel(x)
+}
+
+/// Chunked batch `erf`: writes `erf(xs[i])` into `out[i]`, bit-identical
+/// to the scalar [`erf`]. One fixed-trip Chebyshev recurrence per lane —
+/// pure fused-free mul/add the autovectorizer can unroll — with the sign
+/// fold as a select, so the loop body is branch-free.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn erf_slice(xs: &[f64], out: &mut [f64]) {
+    crate::dist::map_chunked(xs, out, |x| 1.0 - erfc_kernel(x));
+}
+
+/// Chunked batch `erfc`: writes `erfc(xs[i])` into `out[i]`,
+/// bit-identical to the scalar [`erfc`]. Same branch-free layout as
+/// [`erf_slice`].
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn erfc_slice(xs: &[f64], out: &mut [f64]) {
+    crate::dist::map_chunked(xs, out, erfc_kernel);
+}
+
+/// The shared per-element `erfc` kernel: total over the extended reals
+/// and branch-free apart from the final sign select, so both the scalar
+/// wrapper and the chunked slice path compile from the same operations.
+#[inline]
+fn erfc_kernel(x: f64) -> f64 {
     let z = x.abs();
     let t = 2.0 / (2.0 + z);
     let ty = 4.0 * t - 2.0;
@@ -302,6 +399,16 @@ pub fn inverse_standard_normal_cdf(p: f64) -> f64 {
     let e = 0.5 * erfc(-x / std::f64::consts::SQRT_2) - p;
     let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
     x - u / (1.0 + x * u / 2.0)
+}
+
+/// Chunked in-place batch `Φ⁻¹`: replaces each `ps[i]` with
+/// `inverse_standard_normal_cdf(ps[i])`, bit-identical to the scalar
+/// function (it applies the exact same kernel per lane; chunking only
+/// exposes independent lanes for instruction-level parallelism). This is
+/// the inverse-CDF leg of the synth generator's batch sampling path
+/// (DESIGN.md §13).
+pub fn inverse_standard_normal_cdf_slice(ps: &mut [f64]) {
+    crate::dist::map_chunked_in_place(ps, inverse_standard_normal_cdf);
 }
 
 /// Standard normal CDF `Φ(x)`.
@@ -625,6 +732,89 @@ mod tests {
         assert!(regularized_gamma_p(1.0, -1.0).is_nan());
         assert_eq!(regularized_gamma_p(2.0, 0.0), 0.0);
         assert_eq!(regularized_gamma_q(2.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn erf_erfc_edge_cases_documented() {
+        // ±0.0: both signs of zero fold into the non-negative branch.
+        assert_eq!(erfc(0.0), erfc(-0.0));
+        assert!((erfc(0.0) - 1.0).abs() <= 1e-15);
+        assert!(erf(0.0).abs() <= 1e-15);
+        assert!(erf(-0.0).abs() <= 1e-15);
+        // Subnormals behave as zero — finite, no NaN.
+        let sub = f64::MIN_POSITIVE / 8.0;
+        assert!(sub.is_subnormal());
+        for &x in &[sub, -sub, f64::MIN_POSITIVE] {
+            assert!(erfc(x).is_finite());
+            assert!((erfc(x) - 1.0).abs() <= 1e-15, "erfc({x:e})");
+            assert!(erf(x).abs() <= 1e-15, "erf({x:e})");
+        }
+        // ±∞ are exact: the t = 2/(2+|x|) prefactor underflows first.
+        assert_eq!(erfc(f64::INFINITY), 0.0);
+        assert_eq!(erfc(f64::NEG_INFINITY), 2.0);
+        assert_eq!(erf(f64::INFINITY), 1.0);
+        assert_eq!(erf(f64::NEG_INFINITY), -1.0);
+        // NaN in, NaN out — and only then.
+        assert!(erfc(f64::NAN).is_nan());
+        assert!(erf(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn ln_gamma_edge_cases_documented() {
+        // ±0.0 are poles → NaN (invalid-parameter signal, not the +∞ limit).
+        assert!(ln_gamma(0.0).is_nan());
+        assert!(ln_gamma(-0.0).is_nan());
+        // +∞ no longer leaks ∞ − ∞ = NaN out of the Lanczos tail.
+        assert_eq!(ln_gamma(f64::INFINITY), f64::INFINITY);
+        assert!(ln_gamma(f64::NEG_INFINITY).is_nan());
+        assert!(ln_gamma(f64::NAN).is_nan());
+        // Positive subnormals reflect to a finite ≈ -ln x.
+        let sub = f64::MIN_POSITIVE / 8.0;
+        let v = ln_gamma(sub);
+        assert!(v.is_finite() && v > 700.0, "ln_gamma({sub:e}) = {v}");
+        assert_close(v, -sub.ln(), 1e-12);
+    }
+
+    #[test]
+    fn slice_paths_bit_identical_to_scalar() {
+        // Mixed bag spanning every edge case plus ordinary arguments, at
+        // lengths that cover empty, length-1, one full chunk, and a
+        // non-power-of-two remainder.
+        let pool: Vec<f64> = vec![
+            0.0,
+            -0.0,
+            f64::MIN_POSITIVE / 8.0,
+            -f64::MIN_POSITIVE,
+            1e-12,
+            0.25,
+            0.5,
+            1.0,
+            2.5,
+            17.0,
+            1e6,
+            -1.0,
+            -2.5,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            -0.75,
+        ];
+        for len in [0usize, 1, 7, 8, 9, 16, 17] {
+            let xs: Vec<f64> = (0..len).map(|i| pool[i % pool.len()]).collect();
+            let mut got = vec![0.0; len];
+            erf_slice(&xs, &mut got);
+            for (x, g) in xs.iter().zip(&got) {
+                assert_eq!(g.to_bits(), erf(*x).to_bits(), "erf({x})");
+            }
+            erfc_slice(&xs, &mut got);
+            for (x, g) in xs.iter().zip(&got) {
+                assert_eq!(g.to_bits(), erfc(*x).to_bits(), "erfc({x})");
+            }
+            ln_gamma_slice(&xs, &mut got);
+            for (x, g) in xs.iter().zip(&got) {
+                assert_eq!(g.to_bits(), ln_gamma(*x).to_bits(), "ln_gamma({x})");
+            }
+        }
     }
 
     #[test]

@@ -181,29 +181,38 @@ impl<'a> TraceGenerator<'a> {
 
         // Per-node rate weights, each drawn from the node's own weight
         // stream (index 2n) so a node's weight never depends on how many
-        // nodes precede it in generation order.
+        // nodes precede it in generation order. Graphics and front-end
+        // multipliers already encode those nodes' deviation from the
+        // fleet; only compute nodes get the lognormal heterogeneity draw
+        // (unit mean: exp(σZ − σ²/2)). The compute draws are collected
+        // first and pushed through the chunked inverse-CDF kernel in one
+        // batch (DESIGN.md §13); each node still takes exactly one draw
+        // from its own stream and the transform performs the scalar
+        // operations verbatim, so the weights are bit-identical to a
+        // per-node scalar transform.
         let node_count = spec.nodes();
-        let weights: Vec<f64> = (0..node_count)
-            .map(|n| {
-                let node = NodeId::new(n);
-                // Graphics and front-end multipliers already encode those
-                // nodes' deviation from the fleet; only compute nodes get
-                // the lognormal heterogeneity draw (unit mean:
-                // exp(σZ − σ²/2)).
-                match spec.workload_of(node) {
-                    hpcfail_records::Workload::Graphics => config.graphics_multiplier,
-                    hpcfail_records::Workload::FrontEnd => config.frontend_multiplier,
-                    hpcfail_records::Workload::Compute => {
-                        let mut wrng = StdRng::seed_from_u64(streams.stream(2 * u64::from(n)));
-                        let sigma = config.node_heterogeneity_sigma;
-                        let z = hpcfail_stats::special::inverse_standard_normal_cdf(
-                            crate::open_unit(&mut wrng),
-                        );
-                        (sigma * z - sigma * sigma / 2.0).exp()
-                    }
+        let sigma = config.node_heterogeneity_sigma;
+        let mut weights: Vec<f64> = Vec::with_capacity(node_count as usize);
+        let mut compute_nodes: Vec<usize> = Vec::with_capacity(node_count as usize);
+        let mut zs: Vec<f64> = Vec::with_capacity(node_count as usize);
+        for n in 0..node_count {
+            let node = NodeId::new(n);
+            match spec.workload_of(node) {
+                hpcfail_records::Workload::Graphics => weights.push(config.graphics_multiplier),
+                hpcfail_records::Workload::FrontEnd => weights.push(config.frontend_multiplier),
+                hpcfail_records::Workload::Compute => {
+                    let mut wrng = StdRng::seed_from_u64(streams.stream(2 * u64::from(n)));
+                    compute_nodes.push(weights.len());
+                    zs.push(crate::open_unit(&mut wrng));
+                    weights.push(0.0);
                 }
-            })
-            .collect();
+            }
+        }
+        hpcfail_stats::special::inverse_standard_normal_cdf_slice(&mut zs);
+        let half_sigma_sq = sigma * sigma / 2.0;
+        for (&slot, &z) in compute_nodes.iter().zip(&zs) {
+            weights[slot] = (sigma * z - half_sigma_sq).exp();
+        }
         let weight_total: f64 = weights.iter().sum();
 
         let detail_model = DetailModel::for_type(spec.hardware());

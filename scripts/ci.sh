@@ -30,6 +30,16 @@ if ! diff -u "$tmpdir/repro_t1.txt" "$tmpdir/repro_t8.txt"; then
 fi
 echo "OK: repro output byte-identical across worker counts"
 
+echo "==> repro output vs committed experiments/repro_output.txt"
+if ! diff -u experiments/repro_output.txt "$tmpdir/repro_t1.txt"; then
+    echo "FAIL: fresh repro run differs from the committed golden output." >&2
+    echo "      The batch kernels (DESIGN.md §13) and every other fit-path" >&2
+    echo "      change must stay bit-identical; if a drift is intentional," >&2
+    echo "      re-record with: cargo run --release -p hpcfail-bench --bin repro" >&2
+    exit 1
+fi
+echo "OK: fresh repro output byte-identical to the committed golden"
+
 echo "==> ingest robustness suite (corruptor sweep, conservation, repair idempotence)"
 cargo test --release -q -p hpcfail --test ingest_robustness
 
@@ -177,7 +187,25 @@ with open("experiments/BENCH_fit.json") as f:
     doc = json.load(f)
 ratio = doc["groups"]["paper_set_rank"]["speedup_at_1e5"]["kernel_vs_legacy"]
 assert ratio >= 2.0, f"paper-set ranking speedup regressed below 2x: {ratio}"
-print(f"OK: BENCH_fit.json parses; recorded paper-set speedup at 1e5 = {ratio}x")
+
+# Batch distribution kernels (DESIGN.md §13): the scalar-vs-batch rows
+# must be present for every size, and batch KS at n=1e5 must hold the
+# 1.5x floor over the scalar exhaustive scan.
+ks = doc["groups"]["batch_ks"]["results"]
+for variant in ("scalar_exhaustive", "branch_bound", "batch"):
+    for n in ("10000", "100000", "1000000"):
+        assert ks[variant][n] > 0, f"batch_ks/{variant}/{n} missing or bad"
+nll = doc["groups"]["batch_nll"]["results"]
+for variant in ("prepared", "batch"):
+    for n in ("10000", "100000", "1000000"):
+        assert nll[variant][n] > 0, f"batch_nll/{variant}/{n} missing or bad"
+sampling = doc["groups"]["batch_sampling"]["results"]
+for variant in ("scalar_1e6", "batch_1e6"):
+    assert sampling[variant] > 0, f"batch_sampling/{variant} missing or bad"
+batch_ks = doc["groups"]["batch_ks"]["speedup_at_1e5"]["batch_vs_scalar"]
+assert batch_ks >= 1.5, f"batch KS speedup at 1e5 below the 1.5x floor: {batch_ks}"
+print(f"OK: BENCH_fit.json parses; recorded paper-set speedup at 1e5 = {ratio}x, "
+      f"batch-KS speedup at 1e5 = {batch_ks}x")
 EOF
 else
     grep -q '"kernel_vs_legacy"' experiments/BENCH_fit.json

@@ -208,3 +208,39 @@ fn replayed_load_plan_meets_the_hit_rate_floor() {
         state.cache.hit_rate()
     );
 }
+
+/// The canonical rendering of `GET /v1/synth/tbf?view=pooled` against
+/// the seeded scenario trace (system 20, seed 42), captured before the
+/// batch distribution kernels were wired under the fit path. The batch
+/// NLL/KS evaluation is required to be bit-identical to the scalar path
+/// it replaced (DESIGN.md §13); any drift shows up here as a byte diff.
+const GOLDEN_TBF_POOLED: &str = r#"{"view":{"kind":"pooled","system":20},"n":6044,"zero_fraction":0.002316346790205162,"c2":5.670990772744735,"mean_secs":2125488.050414594,"weibull_shape":0.46953017689963433,"hazard_trend":"decreasing","decreasing_hazard":true,"dominated_by_simultaneity":false,"gap_autocorrelation":0.058660330046631966,"fits":{"n":6030,"best":"weibull","candidates":[{"family":"weibull","nll":89836.00378367912,"aic":179676.00756735823,"bic":179689.41657193768,"ks":0.06152162592518379},{"family":"gamma","nll":89923.12314674802,"aic":179850.24629349605,"bic":179863.6552980755,"ks":0.05624088659347409},{"family":"lognormal","nll":90232.5305809366,"aic":180469.0611618732,"bic":180482.47016645264,"ks":0.10760163704225367},{"family":"exponential","nll":93884.15738866471,"aic":187770.31477732942,"bic":187777.01927961913,"ks":0.28804045674914863}],"failed":[]}}"#;
+
+#[test]
+fn cold_miss_tbf_body_matches_the_pre_kernel_golden() {
+    let state = synth_state();
+    let resp = do_get(&state, "/v1/synth/tbf?view=pooled");
+    assert_eq!(resp.status, 200);
+    assert_eq!(&*resp.body, GOLDEN_TBF_POOLED, "rendered JSON drifted");
+    assert_eq!(state.cache.misses(), 1);
+    assert_eq!(state.cache.hits(), 0);
+    // The cache key is unchanged too: probing with the canonical key is
+    // a hit sharing the miss's Arc body, never a recompute.
+    let probe = state.cache.get_or_compute(
+        CacheKey {
+            tenant: "synth".to_string(),
+            generation: 1,
+            analysis: "tbf",
+            stratum: "era=all&system=20&view=pooled".to_string(),
+        },
+        || Response::error(500, "cache key drifted: recompute reached"),
+    );
+    assert_eq!(state.cache.hits(), 1);
+    assert!(Arc::ptr_eq(&probe.body, &resp.body));
+    assert_eq!(&*probe.body, GOLDEN_TBF_POOLED);
+    // /healthz smoke: the counters surface the miss and the probe hit.
+    let health = do_get(&state, "/healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"misses\":1"), "{}", health.body);
+    assert!(health.body.contains("\"hits\":1"), "{}", health.body);
+}
