@@ -17,9 +17,10 @@
 //! `experiments/BENCH_trace.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpcfail_records::io::{read_csv, write_csv};
 use hpcfail_records::{
     DetailedCause, FailureRecord, FailureTrace, NodeId, RootCause, SystemId, Timestamp, TraceIndex,
-    Workload,
+    TraceStore, Workload,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -28,6 +29,9 @@ use std::hint::black_box;
 const SYSTEMS: u32 = 4;
 const NODES: u32 = 64;
 const SIZES: [usize; 2] = [100_000, 1_000_000];
+/// Store-vs-rebuild sizes: the `.hpct` open path must stay proportional
+/// to I/O all the way to 1e7.
+const STORE_SIZES: [usize; 3] = [100_000, 1_000_000, 10_000_000];
 const SPAN_SECS: u64 = 300_000_000;
 
 /// Uniform synthetic trace: n records spread over ~9.5 years across
@@ -243,6 +247,39 @@ fn bench_index_build(c: &mut Criterion) {
     group.finish();
 }
 
+/// The load-path mirror of `index_build`: CSV parse + full index
+/// rebuild vs opening the same records from a packed `.hpct` image,
+/// plus the one-time pack-write cost. Both sides run from memory so the
+/// comparison measures decode work, not disk.
+fn bench_store_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_load");
+    for n in STORE_SIZES {
+        let trace = synth_trace(n, 42);
+        let mut csv = Vec::new();
+        write_csv(&trace, &mut csv).expect("in-memory csv");
+        let index = TraceIndex::build(&trace);
+        let packed = TraceStore::to_bytes(&index);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("csv_parse_build", n), &csv, |b, csv| {
+            b.iter(|| {
+                let t = read_csv(black_box(&csv[..])).expect("clean csv");
+                TraceIndex::build(&t).all().len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("hpct_open", n), &packed, |b, bytes| {
+            b.iter(|| {
+                let loaded = TraceStore::from_bytes(black_box(&bytes[..])).expect("clean store");
+                let (t, parts) = loaded.into_parts();
+                TraceIndex::from_parts(&t, parts).all().len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("pack_write", n), &index, |b, idx| {
+            b.iter(|| TraceStore::to_bytes(black_box(idx)).len());
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_per_node_tbf,
@@ -250,6 +287,7 @@ criterion_group!(
     bench_repair_by_cause,
     bench_window,
     bench_merge,
-    bench_index_build
+    bench_index_build,
+    bench_store_load
 );
 criterion_main!(benches);

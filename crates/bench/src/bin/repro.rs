@@ -6,13 +6,20 @@
 //! cargo run -p hpcfail-bench --bin repro -- fig6         # one experiment
 //! cargo run -p hpcfail-bench --bin repro -- list         # list experiments
 //! cargo run -p hpcfail-bench --bin repro -- --csv DIR    # also dump CSV series
+//! cargo run -p hpcfail-bench --bin repro -- --packed     # run off a packed .hpct round-trip
 //! ```
+//!
+//! `--packed` packs the seeded site trace into an in-memory `.hpct`
+//! image, reopens it through the checked store loader, and runs every
+//! experiment off the loaded index — the output must stay byte-identical
+//! to the direct path (ci.sh diffs it against the committed golden).
 
 use hpcfail_core::report::{bar, fmt_num, fmt_pct, TextTable};
 use hpcfail_core::{
     availability, daily, findings, lifetime, periodic, pernode, rates, related, repair, rootcause,
     tbf, workload,
 };
+use hpcfail_records::store::TraceStore;
 use hpcfail_records::{Catalog, FailureTrace, HardwareType, NodeId, RootCause, SystemId, TraceIndex};
 use hpcfail_synth::scenario;
 
@@ -32,6 +39,11 @@ fn main() {
             std::process::exit(2);
         }
         csv_dir = Some(std::path::PathBuf::from(args.remove(pos + 1)));
+        args.remove(pos);
+    }
+    let mut packed = false;
+    if let Some(pos) = args.iter().position(|a| a == "--packed") {
+        packed = true;
         args.remove(pos);
     }
     let wanted: Vec<&str> = args.iter().map(String::as_str).collect();
@@ -66,7 +78,22 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create csv directory");
     }
     let ctx = ctx;
-    let site_index = ctx.site.index();
+    // With --packed, the site index comes from a pack → checked-load
+    // round trip of the binary columnar store instead of a fresh build.
+    let packed_site = if packed {
+        eprintln!("packing site trace to .hpct and reopening through the store loader…");
+        let bytes = TraceStore::to_bytes(&ctx.site.index());
+        let loaded = TraceStore::from_bytes(&bytes).expect("fresh .hpct image must load");
+        let (trace, parts) = loaded.into_parts();
+        assert_eq!(trace, ctx.site, "store round trip must reproduce the trace");
+        Some((trace, parts))
+    } else {
+        None
+    };
+    let site_index = match &packed_site {
+        Some((trace, parts)) => TraceIndex::from_parts(trace, parts.clone()),
+        None => ctx.site.index(),
+    };
     let mut ran = 0;
     for (name, f) in experiments {
         if wanted.is_empty() || wanted.contains(name) {

@@ -9,7 +9,8 @@
 //! hpcfail summary FILE
 //! hpcfail analyze FILE [--system ID]
 //! hpcfail findings FILE
-//! hpcfail quality FILE [--lanl] [--repair] [--out FILE]
+//! hpcfail quality FILE [--lanl] [--repair] [--out FILE] [--pack]
+//! hpcfail pack FILE [--lanl] [--out FILE.hpct]
 //! hpcfail import-lanl FILE [--out FILE]
 //! hpcfail validate [--seed N]
 //! hpcfail serve [--trace FILE]... [--lanl] [--synth SEED] [--system ID] [--host H] [--port N]
@@ -29,7 +30,9 @@ use hpcfail_core::{findings, rates, repair, rootcause, tbf};
 use hpcfail_records::io::{read_csv, read_csv_lenient, write_csv};
 use hpcfail_records::io_lanl::{read_lanl_csv, read_lanl_csv_lenient};
 use hpcfail_records::quality::{audit_with_catalog, repair as repair_trace, RepairPolicy};
-use hpcfail_records::{Catalog, FailureTrace, IngestPolicy, LenientIngest, RootCause, SystemId};
+use hpcfail_records::{
+    Catalog, FailureTrace, IngestPolicy, LenientIngest, RootCause, SystemId, TraceStore,
+};
 
 /// A CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -76,11 +79,17 @@ USAGE:
       Failure rates, repair statistics, and TBF fits for a trace.
   hpcfail findings FILE
       Check the paper's Section-8 conclusions against a trace.
-  hpcfail quality FILE [--lanl] [--repair] [--out FILE]
+  hpcfail quality FILE [--lanl] [--repair] [--out FILE] [--pack]
       Ingest FILE leniently (quarantining bad rows), audit the accepted
       records for duplicates/overlaps/window violations, and with
       --repair apply the standard repair passes (writing the repaired
-      trace to --out when given). --lanl reads the LANL export format.
+      trace to --out when given). --lanl reads the LANL export format;
+      --pack writes --out as a packed .hpct binary store instead of CSV.
+  hpcfail pack FILE [--lanl] [--out FILE.hpct]
+      Build the trace index once and write it as a versioned, checksummed
+      .hpct binary columnar store (default out: FILE with an .hpct
+      extension). Packed traces open in O(1) per record — analyze,
+      serve --trace, and /v1/reload all accept them transparently.
   hpcfail import-lanl FILE [--out FILE]
       Convert a LANL-style export to the native CSV format.
   hpcfail validate [--seed N]
@@ -89,7 +98,8 @@ USAGE:
                 [--host H] [--port N]
       Serve the analyses over HTTP/JSON. Each --trace FILE becomes a
       tenant named after the file stem (--lanl reads them as LANL
-      exports); --synth SEED adds a generated tenant named \"synth\"
+      exports; packed .hpct stores are detected by magic bytes and open
+      without a rebuild); --synth SEED adds a generated tenant named \"synth\"
       (whole site, or one system with --system). Port 0 picks an
       ephemeral port; the bound address is printed on startup. The
       server runs until POST /v1/shutdown, then drains in-flight
@@ -121,7 +131,7 @@ pub enum Command {
     },
     /// `findings FILE`
     Findings(PathBuf),
-    /// `quality FILE [--lanl] [--repair] [--out FILE]`
+    /// `quality FILE [--lanl] [--repair] [--out FILE] [--pack]`
     Quality {
         /// Input trace (native CSV, or LANL export with `--lanl`).
         file: PathBuf,
@@ -131,6 +141,17 @@ pub enum Command {
         repair: bool,
         /// Where to write the repaired trace (with `--repair`).
         out: Option<PathBuf>,
+        /// Write `--out` as a packed `.hpct` store instead of CSV.
+        pack: bool,
+    },
+    /// `pack FILE [--lanl] [--out FILE.hpct]`
+    Pack {
+        /// Input trace (native CSV, or LANL export with `--lanl`).
+        file: PathBuf,
+        /// Read the LANL export format instead of native CSV.
+        lanl: bool,
+        /// Output `.hpct` path (default: FILE with an `.hpct` extension).
+        out: PathBuf,
     },
     /// `import-lanl FILE [--out FILE]`
     ImportLanl {
@@ -250,9 +271,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "quality" => {
             let lanl = rest.iter().any(|a| a.as_str() == "--lanl");
             let repair = rest.iter().any(|a| a.as_str() == "--repair");
+            let pack = rest.iter().any(|a| a.as_str() == "--pack");
             let out = flag_value("--out")?.map(PathBuf::from);
             if out.is_some() && !repair {
                 return Err(usage_err("quality --out requires --repair"));
+            }
+            if pack && out.is_none() {
+                return Err(usage_err("quality --pack requires --repair --out"));
             }
             let pos = positional(&["--out"]);
             match pos.as_slice() {
@@ -261,8 +286,22 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     lanl,
                     repair,
                     out,
+                    pack,
                 }),
                 _ => Err(usage_err("quality requires exactly one FILE")),
+            }
+        }
+        "pack" => {
+            let lanl = rest.iter().any(|a| a.as_str() == "--lanl");
+            let out = flag_value("--out")?.map(PathBuf::from);
+            let pos = positional(&["--out"]);
+            match pos.as_slice() {
+                [file] => {
+                    let file = PathBuf::from(file.as_str());
+                    let out = out.unwrap_or_else(|| file.with_extension("hpct"));
+                    Ok(Command::Pack { file, lanl, out })
+                }
+                _ => Err(usage_err("pack requires exactly one FILE")),
             }
         }
         "import-lanl" => {
@@ -351,7 +390,9 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             lanl,
             repair,
             out,
-        } => quality(file, *lanl, *repair, out.as_ref()),
+            pack,
+        } => quality(file, *lanl, *repair, out.as_ref(), *pack),
+        Command::Pack { file, lanl, out } => pack(file, *lanl, out),
         Command::ImportLanl { file, out } => import_lanl(file, out),
         Command::Validate { seed } => validate(*seed),
         Command::Serve {
@@ -441,10 +482,35 @@ fn serve(
 }
 
 fn load(path: &PathBuf) -> Result<FailureTrace, CliError> {
-    let file = std::fs::File::open(path)
+    let bytes = std::fs::read(path)
         .map_err(|e| run_err(format!("cannot open {}: {e}", path.display())))?;
-    read_csv(BufReader::new(file))
-        .map_err(|e| run_err(format!("cannot parse {}: {e}", path.display())))
+    if hpcfail_records::is_packed(&bytes) {
+        return TraceStore::from_bytes(&bytes)
+            .map(|loaded| loaded.into_parts().0)
+            .map_err(|e| run_err(format!("cannot open {}: {e}", path.display())));
+    }
+    read_csv(&bytes[..]).map_err(|e| run_err(format!("cannot parse {}: {e}", path.display())))
+}
+
+fn pack(file: &PathBuf, lanl: bool, out: &PathBuf) -> Result<String, CliError> {
+    let input = std::fs::File::open(file)
+        .map_err(|e| run_err(format!("cannot open {}: {e}", file.display())))?;
+    let trace = if lanl {
+        read_lanl_csv(BufReader::new(input))
+            .map(|import| import.trace)
+            .map_err(|e| run_err(format!("cannot parse {}: {e}", file.display())))?
+    } else {
+        read_csv(BufReader::new(input))
+            .map_err(|e| run_err(format!("cannot parse {}: {e}", file.display())))?
+    };
+    let index = trace.index();
+    let bytes = TraceStore::write(&index, out)
+        .map_err(|e| run_err(format!("cannot write {}: {e}", out.display())))?;
+    Ok(format!(
+        "packed {} records into {} ({bytes} bytes, checksummed columnar store)",
+        trace.len(),
+        out.display()
+    ))
 }
 
 fn generate(seed: u64, system: Option<u32>, out: &PathBuf) -> Result<String, CliError> {
@@ -562,6 +628,7 @@ fn quality(
     lanl: bool,
     apply_repair: bool,
     out: Option<&PathBuf>,
+    pack: bool,
 ) -> Result<String, CliError> {
     let input = std::fs::File::open(file)
         .map_err(|e| run_err(format!("cannot open {}: {e}", file.display())))?;
@@ -606,16 +673,28 @@ fn quality(
         let outcome = repair_trace(&ingest.trace, Some(&catalog), &RepairPolicy::default());
         let _ = writeln!(text, "repair:\n{outcome}");
         if let Some(path) = out {
-            let output = std::fs::File::create(path)
-                .map_err(|e| run_err(format!("cannot create {}: {e}", path.display())))?;
-            write_csv(&outcome.trace, output)
-                .map_err(|e| run_err(format!("write failed: {e}")))?;
-            let _ = writeln!(
-                text,
-                "wrote {} repaired records to {}",
-                outcome.trace.len(),
-                path.display()
-            );
+            if pack {
+                let index = outcome.trace.index();
+                TraceStore::write(&index, path)
+                    .map_err(|e| run_err(format!("cannot write {}: {e}", path.display())))?;
+                let _ = writeln!(
+                    text,
+                    "packed {} repaired records into {}",
+                    outcome.trace.len(),
+                    path.display()
+                );
+            } else {
+                let output = std::fs::File::create(path)
+                    .map_err(|e| run_err(format!("cannot create {}: {e}", path.display())))?;
+                write_csv(&outcome.trace, output)
+                    .map_err(|e| run_err(format!("write failed: {e}")))?;
+                let _ = writeln!(
+                    text,
+                    "wrote {} repaired records to {}",
+                    outcome.trace.len(),
+                    path.display()
+                );
+            }
         }
     }
     Ok(text)
@@ -793,28 +872,113 @@ mod tests {
                 lanl: false,
                 repair: false,
                 out: None,
+                pack: false,
             }
         );
         assert_eq!(
             parse(&args(&[
-                "quality", "--lanl", "--repair", "--out", "fixed.csv", "t.csv"
+                "quality", "--lanl", "--repair", "--out", "fixed.hpct", "--pack", "t.csv"
             ]))
             .unwrap(),
             Command::Quality {
                 file: PathBuf::from("t.csv"),
                 lanl: true,
                 repair: true,
-                out: Some(PathBuf::from("fixed.csv")),
+                out: Some(PathBuf::from("fixed.hpct")),
+                pack: true,
             }
         );
-        // --out without --repair is a usage error, as is a missing FILE.
+        // --out without --repair is a usage error, as are --pack without
+        // --out and a missing FILE.
         assert_eq!(
             parse(&args(&["quality", "--out", "x.csv", "t.csv"]))
                 .unwrap_err()
                 .code,
             2
         );
+        assert_eq!(
+            parse(&args(&["quality", "--repair", "--pack", "t.csv"]))
+                .unwrap_err()
+                .code,
+            2
+        );
         assert_eq!(parse(&args(&["quality"])).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn parse_pack_defaults_and_flags() {
+        assert_eq!(
+            parse(&args(&["pack", "t.csv"])).unwrap(),
+            Command::Pack {
+                file: PathBuf::from("t.csv"),
+                lanl: false,
+                out: PathBuf::from("t.hpct"),
+            }
+        );
+        assert_eq!(
+            parse(&args(&["pack", "--lanl", "raw.csv", "--out", "raw.packed"])).unwrap(),
+            Command::Pack {
+                file: PathBuf::from("raw.csv"),
+                lanl: true,
+                out: PathBuf::from("raw.packed"),
+            }
+        );
+        assert_eq!(parse(&args(&["pack"])).unwrap_err().code, 2);
+        assert_eq!(parse(&args(&["pack", "a.csv", "b.csv"])).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn pack_then_analyze_matches_the_csv_path() {
+        let dir = std::env::temp_dir().join("hpcfail_cli_pack_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("sys12.csv");
+        execute(&Command::Generate {
+            seed: 42,
+            system: Some(12),
+            out: csv.clone(),
+        })
+        .unwrap();
+        let hpct = dir.join("sys12.hpct");
+        let msg = execute(&Command::Pack {
+            file: csv.clone(),
+            lanl: false,
+            out: hpct.clone(),
+        })
+        .unwrap();
+        assert!(msg.contains("packed"), "{msg}");
+        assert!(msg.contains("checksummed"), "{msg}");
+        // Every FILE-taking analysis accepts the packed store by sniff,
+        // and its output is identical to the CSV path's.
+        for cmd in [
+            |p: PathBuf| Command::Summary(p),
+            |p: PathBuf| Command::Analyze { file: p, system: 12 },
+            |p: PathBuf| Command::Findings(p),
+        ] {
+            let from_csv = execute(&cmd(csv.clone())).unwrap();
+            let from_hpct = execute(&cmd(hpct.clone())).unwrap();
+            assert_eq!(from_csv, from_hpct);
+        }
+    }
+
+    #[test]
+    fn quality_pack_emits_a_loadable_store() {
+        let dir = std::env::temp_dir().join("hpcfail_cli_quality_pack_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dirty.csv");
+        let good = "20,22,110000000,110021600,compute,memory";
+        std::fs::write(&path, format!("{good}\n{good}\n")).unwrap();
+        let packed = dir.join("fixed.hpct");
+        let text = execute(&Command::Quality {
+            file: path,
+            lanl: false,
+            repair: true,
+            out: Some(packed.clone()),
+            pack: true,
+        })
+        .unwrap();
+        assert!(text.contains("packed 1 repaired records"), "{text}");
+        let summary = execute(&Command::Summary(packed)).unwrap();
+        assert!(summary.contains("records: 1"), "{summary}");
     }
 
     #[test]
@@ -836,6 +1000,7 @@ mod tests {
             lanl: false,
             repair: false,
             out: None,
+            pack: false,
         })
         .unwrap();
         assert!(text.contains("4 data rows"), "{text}");
@@ -849,6 +1014,7 @@ mod tests {
             lanl: false,
             repair: true,
             out: Some(fixed.clone()),
+            pack: false,
         })
         .unwrap();
         assert!(text.contains("repair:"), "{text}");

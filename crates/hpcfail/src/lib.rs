@@ -37,10 +37,11 @@ pub mod prelude {
     pub use hpcfail_core::AnalysisError;
     pub use hpcfail_exec::{ParallelExecutor, SeedSequence};
     pub use hpcfail_records::{
-        Catalog, CauseTotals, CorruptionPlan, Corruptor, DetailedCause, FailureRecord,
-        FailureTrace, FaultMix, HardwareType, IngestPolicy, LenientIngest, NodeId, QualityIssue,
-        QualityReport, RecordError, RepairOutcome, RepairPolicy, RootCause, SystemId, Timestamp,
-        TraceIndex, TraceView, Workload,
+        is_packed, BinaryCorruptionPlan, BinaryCorruptor, BinaryFault, BinaryFaultMix, Catalog,
+        CauseTotals, CorruptionPlan, Corruptor, DetailedCause, FailureRecord, FailureTrace,
+        FaultMix, HardwareType, IngestPolicy, LenientIngest, LoadedTrace, NodeId, QualityIssue,
+        QualityReport, RecordError, RepairOutcome, RepairPolicy, RootCause, StoreError, SystemId,
+        Timestamp, TraceIndex, TraceParts, TraceStore, TraceView, Workload,
     };
     pub use hpcfail_stats::dist::{
         Continuous, Discrete, Exponential, Gamma, LogNormal, Normal, Pareto, Poisson, Weibull,

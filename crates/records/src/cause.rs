@@ -56,10 +56,16 @@ impl RootCause {
 
     /// Index into [`RootCause::ALL`].
     pub fn index(&self) -> usize {
-        RootCause::ALL
-            .iter()
-            .position(|c| c == self)
-            .expect("every cause is in ALL")
+        // Position in `ALL` (legend order), as a branch-free match —
+        // this sits on per-row hot paths like the store loader.
+        match self {
+            RootCause::Hardware => 0,
+            RootCause::Software => 1,
+            RootCause::Network => 2,
+            RootCause::Environment => 3,
+            RootCause::Human => 4,
+            RootCause::Unknown => 5,
+        }
     }
 }
 

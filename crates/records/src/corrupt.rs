@@ -295,6 +295,196 @@ impl Corruptor {
     }
 }
 
+/// One binary-file fault kind, aimed at packed `.hpct` stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryFault {
+    /// Cut the file at a random interior byte (torn write / partial
+    /// download): the result is always a strict prefix.
+    MidTruncate,
+    /// Cut inside the first 64 bytes, tearing the header or section
+    /// table itself.
+    TornHeader,
+    /// Flip one to four random bits anywhere in the file (bit rot,
+    /// bad DMA). Flip positions are deduplicated so the output always
+    /// differs from the input.
+    BitFlips,
+    /// Overwrite the format-version field (bytes 4..6) with a version
+    /// this build does not speak — the downgrade/upgrade skew case.
+    VersionSkew,
+}
+
+/// Relative weights of the binary fault kinds. A weight of zero
+/// disables that kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinaryFaultMix {
+    /// Weight of [`BinaryFault::MidTruncate`].
+    pub mid_truncate: u32,
+    /// Weight of [`BinaryFault::TornHeader`].
+    pub torn_header: u32,
+    /// Weight of [`BinaryFault::BitFlips`].
+    pub bit_flips: u32,
+    /// Weight of [`BinaryFault::VersionSkew`].
+    pub version_skew: u32,
+}
+
+impl BinaryFaultMix {
+    /// All binary fault kinds equally likely.
+    pub fn uniform() -> Self {
+        BinaryFaultMix {
+            mid_truncate: 1,
+            torn_header: 1,
+            bit_flips: 1,
+            version_skew: 1,
+        }
+    }
+
+    fn weighted(&self) -> [(BinaryFault, u32); 4] {
+        [
+            (BinaryFault::MidTruncate, self.mid_truncate),
+            (BinaryFault::TornHeader, self.torn_header),
+            (BinaryFault::BitFlips, self.bit_flips),
+            (BinaryFault::VersionSkew, self.version_skew),
+        ]
+    }
+
+    /// Sum of all weights.
+    pub fn total_weight(&self) -> u64 {
+        self.weighted().iter().map(|&(_, w)| w as u64).sum()
+    }
+}
+
+impl Default for BinaryFaultMix {
+    fn default() -> Self {
+        BinaryFaultMix::uniform()
+    }
+}
+
+/// A replayable description of one binary corruption: seed plus fault
+/// mix. `(seed, plan)` fully determines the corrupted bytes, exactly as
+/// [`CorruptionPlan`] does for CSV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinaryCorruptionPlan {
+    /// Root seed for all randomness.
+    pub seed: u64,
+    /// Relative weights of the binary fault kinds.
+    pub mix: BinaryFaultMix,
+}
+
+impl BinaryCorruptionPlan {
+    /// A plan with the uniform mix.
+    pub fn new(seed: u64) -> Self {
+        BinaryCorruptionPlan {
+            seed,
+            mix: BinaryFaultMix::uniform(),
+        }
+    }
+}
+
+impl fmt::Display for BinaryCorruptionPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={} mix=[mid_truncate:{} torn_header:{} bit_flips:{} version_skew:{}]",
+            self.seed,
+            self.mix.mid_truncate,
+            self.mix.torn_header,
+            self.mix.bit_flips,
+            self.mix.version_skew,
+        )
+    }
+}
+
+/// Applies a [`BinaryCorruptionPlan`] to a packed byte image. Each call
+/// injects exactly one fault (whose kind is drawn from the mix), so a
+/// sweep over seeds covers every kind with every cut/flip position
+/// seeded independently.
+#[derive(Debug, Clone, Copy)]
+pub struct BinaryCorruptor {
+    plan: BinaryCorruptionPlan,
+}
+
+impl BinaryCorruptor {
+    /// A corruptor executing `plan`.
+    pub fn new(plan: BinaryCorruptionPlan) -> Self {
+        BinaryCorruptor { plan }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &BinaryCorruptionPlan {
+        &self.plan
+    }
+
+    /// The fault kind this plan's seed selects.
+    pub fn fault(&self) -> BinaryFault {
+        let seq = SeedSequence::new(self.plan.seed);
+        self.pick_fault(&seq.child(0))
+    }
+
+    /// Corrupt `clean` (a packed `.hpct` image of at least 8 bytes) with
+    /// one seeded fault. The output is guaranteed to differ from the
+    /// input.
+    pub fn corrupt_bytes(&self, clean: &[u8]) -> Vec<u8> {
+        assert!(clean.len() >= 8, "need at least a header prefix to corrupt");
+        // Child 0 picks the fault kind, child 1 its parameters — adding
+        // fault kinds never perturbs the parameter draws.
+        let seq = SeedSequence::new(self.plan.seed);
+        let params = seq.child(1);
+        match self.pick_fault(&seq.child(0)) {
+            BinaryFault::MidTruncate => {
+                let keep = 1 + (params.stream(0) % (clean.len() as u64 - 1)) as usize;
+                clean[..keep].to_vec()
+            }
+            BinaryFault::TornHeader => {
+                let limit = clean.len().min(64) as u64;
+                let keep = (params.stream(0) % limit) as usize;
+                clean[..keep].to_vec()
+            }
+            BinaryFault::BitFlips => {
+                let mut out = clean.to_vec();
+                let flips = 1 + (params.stream(0) % 4) as usize;
+                let mut done: Vec<(usize, u8)> = Vec::with_capacity(flips);
+                let mut draw = 1u64;
+                while done.len() < flips {
+                    let byte = (params.stream(draw) % out.len() as u64) as usize;
+                    let bit = (params.stream(draw + 1) % 8) as u8;
+                    draw += 2;
+                    if done.contains(&(byte, bit)) {
+                        continue;
+                    }
+                    out[byte] ^= 1 << bit;
+                    done.push((byte, bit));
+                }
+                out
+            }
+            BinaryFault::VersionSkew => {
+                let mut out = clean.to_vec();
+                let current = u16::from_le_bytes([out[4], out[5]]);
+                let mut skewed = (params.stream(0) % (u16::MAX as u64 + 1)) as u16;
+                if skewed == current {
+                    skewed = skewed.wrapping_add(1);
+                }
+                out[4..6].copy_from_slice(&skewed.to_le_bytes());
+                out
+            }
+        }
+    }
+
+    fn pick_fault(&self, stream: &SeedSequence) -> BinaryFault {
+        let total = self.plan.mix.total_weight();
+        if total == 0 {
+            return BinaryFault::BitFlips;
+        }
+        let mut pick = stream.stream(0) % total;
+        for (f, w) in self.plan.mix.weighted() {
+            if pick < w as u64 {
+                return f;
+            }
+            pick -= w as u64;
+        }
+        BinaryFault::BitFlips
+    }
+}
+
 /// Cut `line` at a seeded character boundary (never mid-UTF-8).
 fn truncate_at_char(line: &str, draw: u64) -> String {
     let boundaries: Vec<usize> = line
@@ -401,5 +591,84 @@ mod tests {
         let text = plan.to_string();
         assert!(text.contains("seed=99"), "{text}");
         assert!(text.contains("rate=0.25"), "{text}");
+    }
+
+    #[test]
+    fn binary_same_plan_same_output() {
+        let clean: Vec<u8> = (0..=255u8).cycle().take(2048).collect();
+        for seed in 0..32 {
+            let plan = BinaryCorruptionPlan::new(seed);
+            let a = BinaryCorruptor::new(plan).corrupt_bytes(&clean);
+            let b = BinaryCorruptor::new(plan).corrupt_bytes(&clean);
+            assert_eq!(a, b, "binary corruption must replay from {plan}");
+        }
+    }
+
+    #[test]
+    fn binary_corruption_always_changes_the_bytes() {
+        let clean: Vec<u8> = (0..=255u8).cycle().take(1024).collect();
+        for seed in 0..200 {
+            let c = BinaryCorruptor::new(BinaryCorruptionPlan::new(seed));
+            let dirty = c.corrupt_bytes(&clean);
+            assert_ne!(dirty, clean, "seed {seed} ({:?}) was a no-op", c.fault());
+        }
+    }
+
+    #[test]
+    fn binary_seed_sweep_covers_every_fault_kind() {
+        let mut hit = [false; 4];
+        for seed in 0..64 {
+            let f = BinaryCorruptor::new(BinaryCorruptionPlan::new(seed)).fault();
+            hit[match f {
+                BinaryFault::MidTruncate => 0,
+                BinaryFault::TornHeader => 1,
+                BinaryFault::BitFlips => 2,
+                BinaryFault::VersionSkew => 3,
+            }] = true;
+        }
+        assert_eq!(hit, [true; 4], "64 seeds must draw every fault kind");
+    }
+
+    #[test]
+    fn binary_truncations_are_strict_prefixes() {
+        let clean: Vec<u8> = (0..=255u8).cycle().take(512).collect();
+        let mix = BinaryFaultMix {
+            mid_truncate: 1,
+            torn_header: 1,
+            bit_flips: 0,
+            version_skew: 0,
+        };
+        for seed in 0..100 {
+            let plan = BinaryCorruptionPlan { seed, mix };
+            let dirty = BinaryCorruptor::new(plan).corrupt_bytes(&clean);
+            assert!(dirty.len() < clean.len(), "{plan}");
+            assert_eq!(&clean[..dirty.len()], &dirty[..], "{plan}");
+        }
+    }
+
+    #[test]
+    fn binary_version_skew_rewrites_the_version_field() {
+        let clean: Vec<u8> = b"HPCT\x01\x00\x00\x00rest of header".to_vec();
+        let mix = BinaryFaultMix {
+            mid_truncate: 0,
+            torn_header: 0,
+            bit_flips: 0,
+            version_skew: 1,
+        };
+        for seed in 0..50 {
+            let dirty = BinaryCorruptor::new(BinaryCorruptionPlan { seed, mix })
+                .corrupt_bytes(&clean);
+            assert_eq!(dirty.len(), clean.len());
+            assert_ne!(&dirty[4..6], &clean[4..6], "seed {seed}");
+            assert_eq!(&dirty[..4], &clean[..4]);
+            assert_eq!(&dirty[6..], &clean[6..]);
+        }
+    }
+
+    #[test]
+    fn binary_plan_display_documents_the_mix() {
+        let text = BinaryCorruptionPlan::new(7).to_string();
+        assert!(text.contains("seed=7"), "{text}");
+        assert!(text.contains("bit_flips:1"), "{text}");
     }
 }

@@ -54,9 +54,9 @@ use crate::trace::FailureTrace;
 use crate::workload::Workload;
 
 /// Sentinel for "no previous row of this node".
-const NO_PREV: u32 = u32::MAX;
+pub(crate) const NO_PREV: u32 = u32::MAX;
 
-fn workload_slot(w: Workload) -> usize {
+pub(crate) fn workload_slot(w: Workload) -> usize {
     match w {
         Workload::Compute => 0,
         Workload::Graphics => 1,
@@ -66,13 +66,54 @@ fn workload_slot(w: Workload) -> usize {
 
 /// One contiguous run of `node_rows` belonging to a single
 /// `(system, node)`.
-#[derive(Debug, Clone, Copy)]
-struct NodeRun {
-    system: SystemId,
-    node: NodeId,
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct NodeRun {
+    pub(crate) system: SystemId,
+    pub(crate) node: NodeId,
     /// Offsets into `TraceIndex::node_rows`.
-    lo: u32,
-    hi: u32,
+    pub(crate) lo: u32,
+    pub(crate) hi: u32,
+}
+
+/// The raw materialized contents of a [`TraceIndex`] — every shadow
+/// column, posting list, and link array, detached from any borrowed
+/// trace.
+///
+/// This is the unit the binary store (`records::store`) serializes and
+/// deserializes: [`crate::store::TraceStore::read`] reconstructs a
+/// `TraceParts` straight from the validated file sections and
+/// [`TraceIndex::from_parts`] wraps it around the accompanying trace
+/// without re-sorting or rebuilding anything. The fields are
+/// crate-private, so a `TraceParts` can only be produced by code that
+/// upholds the index invariants (the in-memory builder or the checked
+/// loader) — external callers cannot forge one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceParts {
+    pub(crate) start: Vec<Timestamp>,
+    pub(crate) downtime: Vec<u64>,
+    pub(crate) system: Vec<SystemId>,
+    pub(crate) node: Vec<NodeId>,
+    pub(crate) cause: Vec<RootCause>,
+    pub(crate) workload: Vec<Workload>,
+    pub(crate) prev_in_node: Vec<u32>,
+    pub(crate) node_rows: Vec<u32>,
+    pub(crate) node_runs: Vec<NodeRun>,
+    pub(crate) system_rows: Vec<u32>,
+    pub(crate) system_spans: Vec<(SystemId, u32, u32)>,
+    pub(crate) cause_rows: [Vec<u32>; 6],
+    pub(crate) workload_rows: [Vec<u32>; 3],
+}
+
+impl TraceParts {
+    /// Number of rows the parts describe.
+    pub fn len(&self) -> usize {
+        self.start.len()
+    }
+
+    /// Whether the parts describe an empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.start.is_empty()
+    }
 }
 
 /// Per-system counts and downtime split by root cause — the payload of
@@ -211,6 +252,80 @@ impl<'t> TraceIndex<'t> {
         }
     }
 
+    /// Assemble an index from pre-materialized [`TraceParts`] without
+    /// rebuilding anything — the O(1)-per-record open path of the binary
+    /// store. The parts must describe exactly `trace` (the checked
+    /// loader guarantees this; so does `build` followed by
+    /// [`TraceIndex::to_parts`]).
+    ///
+    /// # Panics
+    ///
+    /// If `parts.len() != trace.len()` — the one cheap cross-check that
+    /// catches pairing a parts bundle with the wrong trace.
+    pub fn from_parts(trace: &'t FailureTrace, parts: TraceParts) -> Self {
+        assert_eq!(
+            parts.start.len(),
+            trace.len(),
+            "TraceParts row count must match the trace"
+        );
+        TraceIndex {
+            trace,
+            start: parts.start,
+            downtime: parts.downtime,
+            system: parts.system,
+            node: parts.node,
+            cause: parts.cause,
+            workload: parts.workload,
+            prev_in_node: parts.prev_in_node,
+            node_rows: parts.node_rows,
+            node_runs: parts.node_runs,
+            system_rows: parts.system_rows,
+            system_spans: parts.system_spans,
+            cause_rows: parts.cause_rows,
+            workload_rows: parts.workload_rows,
+        }
+    }
+
+    /// Clone the index's materialized contents into a detached
+    /// [`TraceParts`] bundle (used by tests and the store writer's
+    /// round-trip checks; the writer itself serializes from borrows).
+    pub fn to_parts(&self) -> TraceParts {
+        TraceParts {
+            start: self.start.clone(),
+            downtime: self.downtime.clone(),
+            system: self.system.clone(),
+            node: self.node.clone(),
+            cause: self.cause.clone(),
+            workload: self.workload.clone(),
+            prev_in_node: self.prev_in_node.clone(),
+            node_rows: self.node_rows.clone(),
+            node_runs: self.node_runs.clone(),
+            system_rows: self.system_rows.clone(),
+            system_spans: self.system_spans.clone(),
+            cause_rows: self.cause_rows.clone(),
+            workload_rows: self.workload_rows.clone(),
+        }
+    }
+
+    /// Borrowed view of every materialized array, for the store writer.
+    pub(crate) fn parts_ref(&self) -> PartsRef<'_> {
+        PartsRef {
+            start: &self.start,
+            downtime: &self.downtime,
+            system: &self.system,
+            node: &self.node,
+            workload: &self.workload,
+            detail_of: self.trace.records(),
+            prev_in_node: &self.prev_in_node,
+            node_rows: &self.node_rows,
+            node_runs: &self.node_runs,
+            system_rows: &self.system_rows,
+            system_spans: &self.system_spans,
+            cause_rows: &self.cause_rows,
+            workload_rows: &self.workload_rows,
+        }
+    }
+
     /// The underlying trace.
     pub fn trace(&self) -> &'t FailureTrace {
         self.trace
@@ -333,6 +448,48 @@ impl<'t> TraceIndex<'t> {
             }
         }
         counts
+    }
+}
+
+/// Borrowed view of a [`TraceIndex`]'s arrays for the store writer —
+/// the detail column rides along from the records so the store can
+/// serialize the full cause resolution, not just the 6-way category.
+pub(crate) struct PartsRef<'a> {
+    pub(crate) start: &'a [Timestamp],
+    pub(crate) downtime: &'a [u64],
+    pub(crate) system: &'a [SystemId],
+    pub(crate) node: &'a [NodeId],
+    pub(crate) workload: &'a [Workload],
+    pub(crate) detail_of: &'a [FailureRecord],
+    pub(crate) prev_in_node: &'a [u32],
+    pub(crate) node_rows: &'a [u32],
+    pub(crate) node_runs: &'a [NodeRun],
+    pub(crate) system_rows: &'a [u32],
+    pub(crate) system_spans: &'a [(SystemId, u32, u32)],
+    pub(crate) cause_rows: &'a [Vec<u32>; 6],
+    pub(crate) workload_rows: &'a [Vec<u32>; 3],
+}
+
+/// Element-by-element equality of two indexes: same trace contents and
+/// identical columns, posting lists, runs, and links. This is the
+/// identity the store round-trip proptests pin — a loaded index must be
+/// indistinguishable from a freshly built one.
+impl PartialEq for TraceIndex<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.trace == other.trace
+            && self.start == other.start
+            && self.downtime == other.downtime
+            && self.system == other.system
+            && self.node == other.node
+            && self.cause == other.cause
+            && self.workload == other.workload
+            && self.prev_in_node == other.prev_in_node
+            && self.node_rows == other.node_rows
+            && self.node_runs == other.node_runs
+            && self.system_rows == other.system_rows
+            && self.system_spans == other.system_spans
+            && self.cause_rows == other.cause_rows
+            && self.workload_rows == other.workload_rows
     }
 }
 

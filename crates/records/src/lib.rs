@@ -30,21 +30,26 @@ pub mod io;
 pub mod io_lanl;
 pub mod quality;
 mod record;
+pub mod store;
 pub mod time;
 mod trace;
 mod workload;
 
 pub use catalog::{Catalog, NodeCategory, SystemSpec};
 pub use cause::{DetailedCause, RootCause};
-pub use corrupt::{CorruptionPlan, Corruptor, FaultMix};
+pub use corrupt::{
+    BinaryCorruptionPlan, BinaryCorruptor, BinaryFault, BinaryFaultMix, CorruptionPlan, Corruptor,
+    FaultMix,
+};
 pub use error::RecordError;
 pub use ids::{HardwareType, NodeId, SystemId};
-pub use index::{CauseTotals, TraceIndex, TraceView};
+pub use index::{CauseTotals, TraceIndex, TraceParts, TraceView};
 pub use quality::{
     audit, audit_with_catalog, repair, IngestPolicy, LenientIngest, QualityIssue, QualityReport,
     QuarantinedRow, RepairOutcome, RepairPolicy, Severity,
 };
 pub use record::FailureRecord;
+pub use store::{is_packed, LoadedTrace, StoreError, TraceStore, FORMAT_VERSION, HPCT_MAGIC};
 pub use time::Timestamp;
 pub use trace::FailureTrace;
 pub use workload::Workload;

@@ -10,12 +10,12 @@
 //! finish — reload never blocks them and never mutates shared state.
 
 use std::collections::BTreeMap;
-use std::io::BufReader;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
 use hpcfail_records::io::read_csv;
 use hpcfail_records::io_lanl::read_lanl_csv;
+use hpcfail_records::store::{is_packed, LoadedTrace, TraceStore};
 use hpcfail_records::{FailureTrace, TraceIndex};
 
 /// A [`FailureTrace`] bundled with the [`TraceIndex`] built over it.
@@ -48,6 +48,21 @@ impl OwnedIndex {
         // SAFETY: the borrow target is the boxed heap allocation, which
         // outlives `index` by construction (field order) and never
         // moves; see the type-level invariants above.
+        let index: TraceIndex<'static> =
+            unsafe { std::mem::transmute::<TraceIndex<'_>, TraceIndex<'static>>(borrowed) };
+        OwnedIndex { index, trace }
+    }
+
+    /// Wrap a trace loaded from a packed `.hpct` store: the index parts
+    /// come pre-validated off disk, so no rebuild runs — this is the
+    /// O(1)-per-record open path.
+    pub fn from_loaded(loaded: LoadedTrace) -> OwnedIndex {
+        let (trace, parts) = loaded.into_parts();
+        let trace = Box::new(trace);
+        let borrowed: TraceIndex<'_> = TraceIndex::from_parts(&trace, parts);
+        // SAFETY: same invariants as `new` — the borrow target is the
+        // boxed heap allocation, which outlives `index` (field order)
+        // and never moves.
         let index: TraceIndex<'static> =
             unsafe { std::mem::transmute::<TraceIndex<'_>, TraceIndex<'static>>(borrowed) };
         OwnedIndex { index, trace }
@@ -142,22 +157,59 @@ impl std::fmt::Display for TenantError {
 
 impl std::error::Error for TenantError {}
 
-fn load_source(source: &TenantSource) -> Result<FailureTrace, TenantError> {
-    match source {
-        TenantSource::File(path) => {
-            let file = std::fs::File::open(path)
-                .map_err(|e| TenantError::Load(format!("{}: {e}", path.display())))?;
-            read_csv(BufReader::new(file))
-                .map_err(|e| TenantError::Load(format!("{}: {e}", path.display())))
+/// A source's records, either parsed from CSV (index still to build) or
+/// opened from a packed `.hpct` store (index parts already validated).
+enum LoadedSource {
+    Parsed(FailureTrace),
+    Packed(LoadedTrace),
+}
+
+impl LoadedSource {
+    fn is_empty(&self) -> bool {
+        match self {
+            LoadedSource::Parsed(trace) => trace.is_empty(),
+            LoadedSource::Packed(loaded) => loaded.is_empty(),
         }
-        TenantSource::LanlFile(path) => {
-            let file = std::fs::File::open(path)
-                .map_err(|e| TenantError::Load(format!("{}: {e}", path.display())))?;
-            read_lanl_csv(BufReader::new(file))
+    }
+
+    /// Build (CSV) or directly wrap (packed) the owned index.
+    fn into_owned(self) -> OwnedIndex {
+        match self {
+            LoadedSource::Parsed(trace) => OwnedIndex::new(trace),
+            LoadedSource::Packed(loaded) => OwnedIndex::from_loaded(loaded),
+        }
+    }
+}
+
+/// Read one trace file, sniffing the format by magic bytes: a `.hpct`
+/// store opens through the checked binary loader (no rebuild), anything
+/// else parses as CSV in the arm-specific dialect.
+fn read_trace_file(
+    path: &Path,
+    parse: impl FnOnce(&[u8]) -> Result<FailureTrace, TenantError>,
+) -> Result<LoadedSource, TenantError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| TenantError::Load(format!("{}: {e}", path.display())))?;
+    if is_packed(&bytes) {
+        TraceStore::from_bytes(&bytes)
+            .map(LoadedSource::Packed)
+            .map_err(|e| TenantError::Load(format!("{}: {e}", path.display())))
+    } else {
+        parse(&bytes).map(LoadedSource::Parsed)
+    }
+}
+
+fn load_source(source: &TenantSource) -> Result<LoadedSource, TenantError> {
+    match source {
+        TenantSource::File(path) => read_trace_file(path, |bytes| {
+            read_csv(bytes).map_err(|e| TenantError::Load(format!("{}: {e}", path.display())))
+        }),
+        TenantSource::LanlFile(path) => read_trace_file(path, |bytes| {
+            read_lanl_csv(bytes)
                 .map(|import| import.trace)
                 .map_err(|e| TenantError::Load(format!("{}: {e}", path.display())))
-        }
-        TenantSource::Static(trace) => Ok(FailureTrace::clone(trace)),
+        }),
+        TenantSource::Static(trace) => Ok(LoadedSource::Parsed(FailureTrace::clone(trace))),
     }
 }
 
@@ -180,12 +232,12 @@ impl TenantRegistry {
     /// [`TenantError::DuplicateTenant`] on a name collision;
     /// [`TenantError::Load`] when the source cannot be read.
     pub fn insert(&self, name: &str, source: TenantSource) -> Result<Arc<Tenant>, TenantError> {
-        let trace = load_source(&source)?;
+        let loaded = load_source(&source)?;
         let tenant = Arc::new(Tenant {
             name: name.to_string(),
             generation: 1,
             source,
-            owned: OwnedIndex::new(trace),
+            owned: loaded.into_owned(),
         });
         let mut map = self.tenants.write().expect("tenant registry");
         if map.contains_key(name) {
@@ -234,8 +286,8 @@ impl TenantRegistry {
         let current = self
             .get(name)
             .ok_or_else(|| TenantError::UnknownTenant(name.to_string()))?;
-        let trace = load_source(&current.source)?;
-        if trace.is_empty() && !current.is_empty() {
+        let loaded = load_source(&current.source)?;
+        if loaded.is_empty() && !current.is_empty() {
             return Err(TenantError::EmptyReload {
                 name: name.to_string(),
                 live_records: current.len(),
@@ -245,7 +297,7 @@ impl TenantRegistry {
             name: current.name.clone(),
             generation: current.generation + 1,
             source: current.source.clone(),
-            owned: OwnedIndex::new(trace),
+            owned: loaded.into_owned(),
         });
         let mut map = self.tenants.write().expect("tenant registry");
         map.insert(name.to_string(), rebuilt.clone());
@@ -349,6 +401,33 @@ mod tests {
         std::fs::write(&empty, "").unwrap();
         reg.insert("e", TenantSource::File(empty)).unwrap();
         assert_eq!(reg.reload("e").unwrap().generation, 2);
+    }
+
+    #[test]
+    fn packed_tenant_loads_and_reloads_by_magic_sniff() {
+        let dir = std::env::temp_dir().join("hpcfail_serve_tenant_packed_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.hpct");
+        let trace = tiny_trace(12);
+        TraceStore::write(&trace.index(), &path).unwrap();
+        let reg = TenantRegistry::new();
+        reg.insert("t", TenantSource::File(path.clone())).unwrap();
+        let t = reg.get("t").unwrap();
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.index().all().len(), 12);
+        // Repack with more records; reload must pick them up without a rebuild.
+        TraceStore::write(&tiny_trace(20).index(), &path).unwrap();
+        assert_eq!(reg.reload("t").unwrap().len(), 20);
+        // A damaged packed file fails typed and keeps the old generation.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = reg.reload("t").unwrap_err();
+        assert!(matches!(err, TenantError::Load(_)), "{err:?}");
+        let live = reg.get("t").unwrap();
+        assert_eq!(live.generation, 2);
+        assert_eq!(live.len(), 20);
     }
 
     #[test]

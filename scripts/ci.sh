@@ -40,6 +40,16 @@ if ! diff -u experiments/repro_output.txt "$tmpdir/repro_t1.txt"; then
 fi
 echo "OK: fresh repro output byte-identical to the committed golden"
 
+echo "==> repro via packed .hpct round trip vs committed golden"
+cargo run --release -q -p hpcfail-bench --bin repro -- --packed > "$tmpdir/repro_packed.txt"
+if ! diff -u experiments/repro_output.txt "$tmpdir/repro_packed.txt"; then
+    echo "FAIL: repro run off a packed trace store differs from the golden." >&2
+    echo "      The binary store (DESIGN.md §14) must reproduce the index" >&2
+    echo "      element-identically; a drift here means pack/load is lossy." >&2
+    exit 1
+fi
+echo "OK: repro --packed (pack -> checked load) byte-identical to the golden"
+
 echo "==> ingest robustness suite (corruptor sweep, conservation, repair idempotence)"
 cargo test --release -q -p hpcfail --test ingest_robustness
 
@@ -63,6 +73,53 @@ test -s "$tmpdir/fixed.csv" || {
     exit 1
 }
 echo "OK: quality subcommand quarantines, audits, and repairs"
+
+echo "==> CLI pack smoke (CSV -> .hpct -> sniffed readers, corruption rejected)"
+cargo run --release -q -p hpcfail-cli --bin hpcfail -- \
+    generate --system 20 --seed 42 --out "$tmpdir/sys20.csv" > /dev/null
+cargo run --release -q -p hpcfail-cli --bin hpcfail -- \
+    pack "$tmpdir/sys20.csv" --out "$tmpdir/sys20.hpct" > "$tmpdir/pack.txt"
+grep -q "packed" "$tmpdir/pack.txt" || {
+    echo "FAIL: pack did not report a packed store" >&2
+    cat "$tmpdir/pack.txt" >&2
+    exit 1
+}
+cargo run --release -q -p hpcfail-cli --bin hpcfail -- \
+    summary "$tmpdir/sys20.csv" > "$tmpdir/summary_csv.txt"
+cargo run --release -q -p hpcfail-cli --bin hpcfail -- \
+    summary "$tmpdir/sys20.hpct" > "$tmpdir/summary_hpct.txt"
+if ! diff -u "$tmpdir/summary_csv.txt" "$tmpdir/summary_hpct.txt"; then
+    echo "FAIL: summary differs between the CSV and its packed store" >&2
+    exit 1
+fi
+# A bit-flipped store must be rejected with a typed error, not loaded.
+python3 - "$tmpdir/sys20.hpct" "$tmpdir/broken.hpct" <<'EOF'
+import sys
+data = bytearray(open(sys.argv[1], "rb").read())
+data[len(data) // 2] ^= 0x10
+open(sys.argv[2], "wb").write(bytes(data))
+EOF
+if cargo run --release -q -p hpcfail-cli --bin hpcfail -- \
+    summary "$tmpdir/broken.hpct" > /dev/null 2>"$tmpdir/broken.err"; then
+    echo "FAIL: a bit-flipped .hpct loaded instead of failing typed" >&2
+    exit 1
+fi
+grep -qi "checksum\|truncated\|malformed\|magic\|version" "$tmpdir/broken.err" || {
+    echo "FAIL: corrupted-store rejection did not name a typed store error" >&2
+    cat "$tmpdir/broken.err" >&2
+    exit 1
+}
+cargo run --release -q -p hpcfail-cli --bin hpcfail -- \
+    quality "$tmpdir/dirty.csv" --repair --out "$tmpdir/fixed.hpct" --pack \
+    > "$tmpdir/quality_pack.txt"
+grep -q "packed" "$tmpdir/quality_pack.txt" || {
+    echo "FAIL: quality --pack did not report a packed store" >&2
+    cat "$tmpdir/quality_pack.txt" >&2
+    exit 1
+}
+cargo run --release -q -p hpcfail-cli --bin hpcfail -- \
+    summary "$tmpdir/fixed.hpct" > /dev/null
+echo "OK: pack round-trips through every sniffed reader and rejects corruption typed"
 
 echo "==> serve test battery (integration, cache, http proptests, determinism)"
 cargo test --release -q -p hpcfail --test serve_integration
@@ -221,7 +278,19 @@ with open("experiments/BENCH_trace.json") as f:
     doc = json.load(f)
 ratio = doc["groups"]["per_node_tbf"]["speedup_at_1e6"]["indexed_warm_vs_legacy"]
 assert ratio >= 3.0, f"per-node TBF speedup regressed below 3x: {ratio}"
-print(f"OK: BENCH_trace.json parses; recorded per-node TBF speedup at 1e6 = {ratio}x")
+
+# Binary trace store (DESIGN.md §14): all three store_load variants
+# must be recorded at every size, and opening a packed .hpct at 1e6
+# must hold the 10x floor over CSV parse + index rebuild.
+store = doc["groups"]["store_load"]["results"]
+for variant in ("csv_parse_build", "hpct_open", "pack_write"):
+    for n in ("100000", "1000000", "10000000"):
+        assert store[variant][n] > 0, f"store_load/{variant}/{n} missing or bad"
+open_ratio = doc["groups"]["store_load"]["speedup_at_1e6"]["open_vs_rebuild"]
+assert open_ratio >= 10.0, \
+    f"packed-store open speedup at 1e6 below the 10x floor: {open_ratio}"
+print(f"OK: BENCH_trace.json parses; recorded per-node TBF speedup at 1e6 = {ratio}x, "
+      f"packed-store open speedup at 1e6 = {open_ratio}x")
 EOF
 else
     grep -q '"indexed_warm_vs_legacy"' experiments/BENCH_trace.json

@@ -185,3 +185,101 @@ fn zero_rate_corruption_round_trips() {
     assert_eq!(ingest.trace.records(), trace.records());
     assert_eq!(to_csv(&ingest.trace), to_csv(&trace));
 }
+
+// ---------------------------------------------------------------------
+// Binary (.hpct) fault sweep: the packed-store loader must map every
+// torn, truncated, bit-flipped, or version-skewed file to a typed
+// StoreError — never a panic, never a checksum-passing wrong index.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single seeded binary fault on a packed store must surface as
+    /// a typed error from the loader.
+    #[test]
+    fn corrupted_packed_stores_always_fail_typed(
+        records in prop::collection::vec(arbitrary_record(), 1..60),
+        seed in 0u64..100_000,
+    ) {
+        let trace = FailureTrace::from_records(records);
+        let clean = TraceStore::to_bytes(&trace.index());
+        let corruptor = BinaryCorruptor::new(BinaryCorruptionPlan::new(seed));
+        let dirty = corruptor.corrupt_bytes(&clean);
+        prop_assert!(dirty != clean, "fault injection was a no-op under {}", corruptor.plan());
+        match TraceStore::from_bytes(&dirty) {
+            Err(e) => {
+                // Every error renders (typed, displayable, replayable).
+                prop_assert!(!e.to_string().is_empty(), "{}", corruptor.plan());
+            }
+            Ok(loaded) => prop_assert!(
+                false,
+                "corruption loaded undetected under {} ({:?}, {} records)",
+                corruptor.plan(),
+                corruptor.fault(),
+                loaded.len()
+            ),
+        }
+    }
+}
+
+/// Deterministic per-kind sweep: each fault kind maps to the error family
+/// the DESIGN.md §14 corruption-semantics table promises.
+#[test]
+fn binary_fault_kinds_map_to_their_error_families() {
+    let trace =
+        hpcfail::synth::scenario::system_trace(SystemId::new(12), 5).expect("synthetic trace");
+    let clean = TraceStore::to_bytes(&trace.index());
+    let only = |mid: u32, torn: u32, flip: u32, skew: u32| BinaryFaultMix {
+        mid_truncate: mid,
+        torn_header: torn,
+        bit_flips: flip,
+        version_skew: skew,
+    };
+    for seed in 0..150u64 {
+        let torn = BinaryCorruptor::new(BinaryCorruptionPlan { seed, mix: only(0, 1, 0, 0) });
+        let err = TraceStore::from_bytes(&torn.corrupt_bytes(&clean))
+            .expect_err("torn header must never load");
+        assert!(
+            matches!(err, StoreError::Truncated { .. } | StoreError::BadMagic { .. }),
+            "torn header under {}: {err}",
+            torn.plan()
+        );
+
+        let cut = BinaryCorruptor::new(BinaryCorruptionPlan { seed, mix: only(1, 0, 0, 0) });
+        let err = TraceStore::from_bytes(&cut.corrupt_bytes(&clean))
+            .expect_err("mid-file truncation must never load");
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. } | StoreError::ChecksumMismatch { .. }
+            ),
+            "mid truncation under {}: {err}",
+            cut.plan()
+        );
+
+        let skew = BinaryCorruptor::new(BinaryCorruptionPlan { seed, mix: only(0, 0, 0, 1) });
+        let err = TraceStore::from_bytes(&skew.corrupt_bytes(&clean))
+            .expect_err("version skew must never load");
+        assert!(
+            matches!(err, StoreError::UnsupportedVersion { .. }),
+            "version skew under {}: {err}",
+            skew.plan()
+        );
+
+        let flips = BinaryCorruptor::new(BinaryCorruptionPlan { seed, mix: only(0, 0, 1, 0) });
+        TraceStore::from_bytes(&flips.corrupt_bytes(&clean))
+            .expect_err("bit flips must never load");
+    }
+}
+
+/// The clean bytes, untouched, keep loading — the sweep above fails
+/// because of the faults, not because packing is broken.
+#[test]
+fn clean_packed_store_loads_after_the_sweep() {
+    let trace =
+        hpcfail::synth::scenario::system_trace(SystemId::new(12), 5).expect("synthetic trace");
+    let clean = TraceStore::to_bytes(&trace.index());
+    let loaded = TraceStore::from_bytes(&clean).expect("clean store loads");
+    assert_eq!(loaded.trace(), &trace);
+}

@@ -944,3 +944,50 @@ proptest! {
         prop_assert_eq!(pool.map_range(4, |i| i), vec![0, 1, 2, 3]);
     }
 }
+
+// ---------------------------------------------------------------------
+// Binary trace store (.hpct) round-trips
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pack → load reproduces the trace and a `TraceIndex` element-
+    /// identical to the one built directly in memory: every column,
+    /// every posting list, every `prev_in_node` link.
+    #[test]
+    fn packed_store_round_trip_is_element_identical(
+        records in prop::collection::vec(arbitrary_record(), 0..80),
+    ) {
+        let trace = FailureTrace::from_records(records);
+        let built = trace.index();
+        let bytes = TraceStore::to_bytes(&built);
+        let loaded = TraceStore::from_bytes(&bytes).expect("clean pack must load");
+        prop_assert_eq!(loaded.trace(), &trace);
+        let (owned, parts) = loaded.into_parts();
+        let reopened = TraceIndex::from_parts(&owned, parts);
+        prop_assert_eq!(&reopened, &built);
+    }
+
+    /// The full pipeline the CLI wires together — CSV text → strict read
+    /// → build index → pack → load — also lands element-identical, and
+    /// packing is byte-deterministic.
+    #[test]
+    fn csv_to_packed_pipeline_matches_direct_build(
+        records in prop::collection::vec(arbitrary_record(), 0..60),
+    ) {
+        use hpcfail::records::io::{read_csv, write_csv};
+        let trace = FailureTrace::from_records(records);
+        let mut csv = Vec::new();
+        write_csv(&trace, &mut csv).expect("in-memory write");
+        let reread = read_csv(&csv[..]).expect("strict read of own output");
+        let built = reread.index();
+        let bytes = TraceStore::to_bytes(&built);
+        prop_assert_eq!(&bytes, &TraceStore::to_bytes(&built));
+        let loaded = TraceStore::from_bytes(&bytes).expect("clean pack must load");
+        let (owned, parts) = loaded.into_parts();
+        let reopened = TraceIndex::from_parts(&owned, parts);
+        prop_assert_eq!(&reopened, &trace.index());
+        prop_assert_eq!(&owned, &reread);
+    }
+}

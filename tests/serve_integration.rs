@@ -336,3 +336,125 @@ fn connections_close_after_a_response_and_never_serve_a_second_request() {
         );
     }
 }
+
+/// Boot a second server off a packed `.hpct` image of the same fixture:
+/// the binary store is sniffed by magic bytes, opens without a rebuild,
+/// and every endpoint's body must be byte-identical to the CSV-booted
+/// server's.
+#[test]
+fn packed_fixture_boot_serves_byte_identical_bodies() {
+    let (_, csv_addr) = booted();
+
+    let dir = std::env::temp_dir().join(format!("hpcfail-packed-boot-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let packed = dir.join("lanl.hpct");
+    TraceStore::write(&fixture_trace().index(), &packed).expect("pack fixture");
+
+    let state = AppState::new();
+    state
+        .registry
+        .insert("lanl", TenantSource::File(packed.clone()))
+        .expect("packed tenant");
+    let state = Arc::new(state);
+    let mut handle = spawn(state.clone(), &ServeConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    for target in [
+        "/v1/lanl/tbf",
+        "/v1/lanl/tbf?view=pooled",
+        "/v1/lanl/tbf?era=early",
+        "/v1/lanl/tbf?era=late",
+        "/v1/lanl/repair",
+        "/v1/lanl/repair?cause=hardware",
+        "/v1/lanl/rates",
+        "/v1/lanl/rates?system=20",
+        "/v1/lanl/availability",
+        "/v1/lanl/pernode",
+        "/v1/lanl/findings",
+    ] {
+        let (csv_status, csv_body) = get(csv_addr, target);
+        let (hpct_status, hpct_body) = get(addr, target);
+        assert_eq!(csv_status, 200, "{target}: {csv_body}");
+        assert_eq!(hpct_status, 200, "{target}: {hpct_body}");
+        assert_eq!(csv_body, hpct_body, "{target}: packed boot changed the answer");
+    }
+    // /v1/traces agrees on the record count too.
+    let (_, body) = get(addr, "/v1/traces");
+    assert!(
+        body.contains(&format!("\"records\":{}", fixture_trace().len())),
+        "{body}"
+    );
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The damaged-reload guarantee holds for packed tenants exactly as for
+/// CSV ones: a bit-flipped, truncated, or version-skewed `.hpct` maps to
+/// a typed `StoreError` inside `503 reload_failed`, and the old
+/// generation keeps serving byte-identical answers.
+#[test]
+fn reload_against_a_damaged_packed_store_keeps_the_old_generation_serving() {
+    let dir = std::env::temp_dir().join(format!("hpcfail-packed-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("tenant.hpct");
+    TraceStore::write(&fixture_trace().index(), &path).expect("pack fixture");
+    let pristine = std::fs::read(&path).expect("packed bytes");
+
+    let state = AppState::new();
+    state
+        .registry
+        .insert("packed", TenantSource::File(path.clone()))
+        .expect("tenant");
+    let state = Arc::new(state);
+    let mut handle = spawn(state.clone(), &ServeConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    let (status, before) = get(addr, "/v1/packed/findings");
+    assert_eq!(status, 200, "{before}");
+
+    let damage: [(&str, Box<dyn Fn()>); 3] = [
+        (
+            "bit-flip",
+            Box::new(|| {
+                let mut bytes = pristine.clone();
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x10;
+                std::fs::write(&path, &bytes).unwrap();
+            }),
+        ),
+        (
+            "truncate",
+            Box::new(|| std::fs::write(&path, &pristine[..pristine.len() / 3]).unwrap()),
+        ),
+        (
+            "version-skew",
+            Box::new(|| {
+                let mut bytes = pristine.clone();
+                bytes[4] = 0x63;
+                std::fs::write(&path, &bytes).unwrap();
+            }),
+        ),
+    ];
+    for (kind, inflict) in &damage {
+        inflict();
+        let (status, body) = http(addr, "POST", "/v1/reload?trace=packed");
+        assert_eq!(status, 503, "{kind}: {body}");
+        assert!(body.contains("\"kind\":\"reload_failed\""), "{kind}: {body}");
+        assert_eq!(
+            state.registry.get("packed").unwrap().generation,
+            1,
+            "{kind}: generation must not move on a failed reload"
+        );
+        let (status, after) = get(addr, "/v1/packed/findings");
+        assert_eq!(status, 200, "{kind}: {after}");
+        assert_eq!(before, after, "{kind}: old generation's answer drifted");
+    }
+
+    // Restore the packed file: reload succeeds without any rebuild.
+    std::fs::write(&path, &pristine).expect("restore packed file");
+    let (status, body) = http(addr, "POST", "/v1/reload?trace=packed");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"generation\":2"), "{body}");
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

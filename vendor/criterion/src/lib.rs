@@ -3,8 +3,9 @@
 //!
 //! Methodology (simplified from real criterion): each benchmark is warmed
 //! up once, then timed in batches whose size doubles until a batch takes
-//! at least [`MIN_BATCH`], and the per-iteration time of the best of
-//! [`SAMPLES`] batches is reported. No plotting, no statistics files —
+//! at least [`MIN_BATCH`]; batches keep running until both [`SAMPLES`]
+//! samples and [`MEASURE_TIME`] of timed work have accumulated, and the
+//! best per-iteration time is reported. No plotting, no statistics files —
 //! one line per benchmark on stdout, machine-grepable:
 //!
 //! ```text
@@ -29,11 +30,24 @@ fn test_mode() -> bool {
     *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
 }
 
+/// Positional name filter, as in real criterion: `cargo bench -- substr`
+/// runs only benchmarks whose label contains `substr`.
+fn name_filter() -> &'static Option<String> {
+    static FILTER: OnceLock<Option<String>> = OnceLock::new();
+    FILTER.get_or_init(|| std::env::args().skip(1).find(|a| !a.starts_with('-')))
+}
+
 /// A batch must run at least this long before it is trusted.
 const MIN_BATCH: Duration = Duration::from_millis(40);
 
 /// Timed batches per benchmark; the fastest is reported.
 const SAMPLES: usize = 5;
+
+/// Minimum total timed duration per benchmark. Short operations keep
+/// sampling past [`SAMPLES`] until this budget is spent, so their
+/// reported minimum gets as many chances to dodge host-scheduler noise
+/// as one long iteration of a slow benchmark naturally absorbs.
+const MEASURE_TIME: Duration = Duration::from_secs(3);
 
 /// Benchmark identifier: an optional function name plus a parameter.
 #[derive(Debug, Clone)]
@@ -98,7 +112,8 @@ impl Bencher {
         let mut best: Option<f64> = None;
         let mut samples = 0;
         let mut total_iters = 0;
-        while samples < SAMPLES {
+        let mut timed = Duration::ZERO;
+        while samples < SAMPLES || timed < MEASURE_TIME {
             let start = Instant::now();
             for _ in 0..batch {
                 black_box(f());
@@ -112,6 +127,7 @@ impl Bencher {
             let per_iter = elapsed.as_secs_f64() * 1e9 / batch as f64;
             best = Some(best.map_or(per_iter, |b: f64| b.min(per_iter)));
             samples += 1;
+            timed += elapsed;
         }
         self.best_ns_per_iter = best;
         self.iters_used = total_iters;
@@ -190,6 +206,11 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one(label: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    if let Some(filter) = name_filter() {
+        if !label.contains(filter.as_str()) {
+            return;
+        }
+    }
     let mut bencher = Bencher::default();
     f(&mut bencher);
     if test_mode() {
@@ -222,8 +243,9 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emit `main` running the given groups; the only harness CLI flag
-/// honored is `--test` (smoke mode), everything else is ignored.
+/// Emit `main` running the given groups; the harness honors `--test`
+/// (smoke mode) and a positional substring filter, everything else is
+/// ignored.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
