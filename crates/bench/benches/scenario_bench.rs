@@ -1,0 +1,104 @@
+//! Campaign throughput of the scenario engine: cells/second on a
+//! representative sub-campaign at 1 and 8 workers, plus the fixed
+//! per-campaign overheads (spec parse + grid expansion, and journal
+//! append). Results are recorded in `experiments/BENCH_scenario.json`
+//! and floor-checked by `scripts/ci.sh`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcfail_scenario::{expand, run_campaign, CampaignSpec, RunOptions};
+use std::hint::black_box;
+
+const WORKERS: [usize; 2] = [1, 8];
+
+/// A 24-cell slice of the bundled what-if campaign: one small measured
+/// system swept over the same perturbation axes, mixing trace-level
+/// evaluation with app sims — the shape of the real per-cell cost.
+const CAMPAIGN: &str = r#"
+[campaign]
+name = "bench"
+seed = 2006
+[fleet]
+systems = [12]
+[grid]
+rate_scale = [0.5, 1.0, 2.0]
+repair_scale = [1.0, 3.0]
+cause_mix = ["lanl", "hardware-heavy"]
+checkpoint = ["none", "young"]
+"#;
+
+fn bench_campaign_cells(c: &mut Criterion) {
+    let spec = CampaignSpec::parse(CAMPAIGN).unwrap();
+    let cells = spec.cell_count();
+    let mut group = c.benchmark_group("scenario_bench");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(cells));
+    for &workers in &WORKERS {
+        group.bench_with_input(
+            BenchmarkId::new("campaign_24_cells", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    run_campaign(
+                        black_box(&spec),
+                        &RunOptions {
+                            workers: Some(workers),
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_spec_expand(c: &mut Criterion) {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../experiments/scenarios/lanl_whatif.toml"
+    ))
+    .unwrap();
+    let spec = CampaignSpec::parse(&text).unwrap();
+    let mut group = c.benchmark_group("scenario_bench");
+    group.bench_function("parse_bundled_spec", |b| {
+        b.iter(|| CampaignSpec::parse(black_box(&text)).unwrap())
+    });
+    group.bench_function("expand_1296_cells", |b| {
+        b.iter(|| expand(black_box(&spec)))
+    });
+    group.finish();
+}
+
+fn bench_journal_roundtrip(c: &mut Criterion) {
+    let spec = CampaignSpec::parse(CAMPAIGN).unwrap();
+    let dir = std::env::temp_dir().join("hpcfail_scenario_bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("bench_{}.journal", std::process::id()));
+    let mut group = c.benchmark_group("scenario_bench");
+    group.sample_size(10);
+    group.bench_function("journaled_campaign_24_cells", |b| {
+        b.iter(|| {
+            std::fs::remove_file(&path).ok();
+            run_campaign(
+                black_box(&spec),
+                &RunOptions {
+                    workers: Some(8),
+                    journal: Some(&path),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        });
+    });
+    std::fs::remove_file(&path).ok();
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_campaign_cells,
+    bench_spec_expand,
+    bench_journal_roundtrip
+);
+criterion_main!(benches);

@@ -14,6 +14,8 @@
 //! hpcfail import-lanl FILE [--out FILE]
 //! hpcfail validate [--seed N]
 //! hpcfail serve [--trace FILE]... [--lanl] [--synth SEED] [--system ID] [--host H] [--port N]
+//! hpcfail scenario plan SPEC
+//! hpcfail scenario run SPEC [--out FILE] [--resume] [--workers N]
 //! ```
 //!
 //! The library surface exists so the command logic is unit-testable;
@@ -105,6 +107,17 @@ USAGE:
       server runs until POST /v1/shutdown, then drains in-flight
       requests and exits cleanly; overload is shed with 503 +
       Retry-After, and slow or stalled requests are cut off with 408.
+  hpcfail scenario plan SPEC
+      Validate a campaign spec (TOML or JSON) and print the expanded
+      cell grid without running anything.
+  hpcfail scenario run SPEC [--out FILE] [--resume] [--workers N]
+      Run the campaign: every cell of the grid is evaluated on the
+      worker pool, panics and per-cell errors become 'degraded' rows,
+      and completed cells checkpoint to a journal next to the output
+      (OUT.journal) so an interrupted run restarts with --resume
+      skipping verified-complete cells. The results table goes to
+      --out when given, otherwise stdout. Exit code 3 means the
+      campaign completed but contains degraded cells.
   hpcfail help
       Show this message.";
 
@@ -179,6 +192,22 @@ pub enum Command {
         host: String,
         /// Bind port (0 = ephemeral).
         port: u16,
+    },
+    /// `scenario plan SPEC`
+    ScenarioPlan {
+        /// Campaign spec file (TOML or JSON).
+        spec: PathBuf,
+    },
+    /// `scenario run SPEC [--out FILE] [--resume] [--workers N]`
+    ScenarioRun {
+        /// Campaign spec file (TOML or JSON).
+        spec: PathBuf,
+        /// Where to write the results table (default: stdout).
+        out: Option<PathBuf>,
+        /// Resume from the journal instead of starting fresh.
+        resume: bool,
+        /// Worker pool size (default: HPCFAIL_THREADS or all cores).
+        workers: Option<usize>,
     },
     /// `help`
     Help,
@@ -368,6 +397,67 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 port,
             })
         }
+        "scenario" => {
+            let sub = rest.first().map(|s| s.as_str());
+            // The subcommand is itself positional; everything after it
+            // parses with the shared flag helpers.
+            let tail: Vec<&String> = rest.iter().skip(1).copied().collect();
+            let tail_flag = |name: &str| -> Result<Option<&String>, CliError> {
+                match tail.iter().position(|a| a.as_str() == name) {
+                    Some(i) => match tail.get(i + 1) {
+                        Some(v) => Ok(Some(v)),
+                        None => Err(usage_err(format!("{name} requires a value"))),
+                    },
+                    None => Ok(None),
+                }
+            };
+            let tail_positional = |skip_flags: &[&str]| -> Vec<&String> {
+                let mut out = Vec::new();
+                let mut i = 0;
+                while i < tail.len() {
+                    let a = tail[i].as_str();
+                    if skip_flags.contains(&a) {
+                        i += 2;
+                    } else if a.starts_with("--") {
+                        i += 1;
+                    } else {
+                        out.push(tail[i]);
+                        i += 1;
+                    }
+                }
+                out
+            };
+            match sub {
+                Some("plan") => match tail_positional(&[]).as_slice() {
+                    [spec] => Ok(Command::ScenarioPlan {
+                        spec: PathBuf::from(spec.as_str()),
+                    }),
+                    _ => Err(usage_err("scenario plan requires exactly one SPEC")),
+                },
+                Some("run") => {
+                    let out = tail_flag("--out")?.map(PathBuf::from);
+                    let resume = tail.iter().any(|a| a.as_str() == "--resume");
+                    let workers = tail_flag("--workers")?
+                        .map(|s| {
+                            s.parse::<usize>()
+                                .ok()
+                                .filter(|&w| w > 0)
+                                .ok_or_else(|| usage_err(format!("bad worker count {s:?}")))
+                        })
+                        .transpose()?;
+                    match tail_positional(&["--out", "--workers"]).as_slice() {
+                        [spec] => Ok(Command::ScenarioRun {
+                            spec: PathBuf::from(spec.as_str()),
+                            out,
+                            resume,
+                            workers,
+                        }),
+                        _ => Err(usage_err("scenario run requires exactly one SPEC")),
+                    }
+                }
+                _ => Err(usage_err("scenario requires a subcommand: plan or run")),
+            }
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(usage_err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -403,7 +493,72 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             host,
             port,
         } => serve(traces, *lanl, *synth, *system, host, *port),
+        Command::ScenarioPlan { spec } => scenario_plan(spec),
+        Command::ScenarioRun {
+            spec,
+            out,
+            resume,
+            workers,
+        } => scenario_run(spec, out.as_ref(), *resume, *workers),
     }
+}
+
+fn load_spec(path: &PathBuf) -> Result<hpcfail_scenario::CampaignSpec, CliError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| run_err(format!("cannot open {}: {e}", path.display())))?;
+    hpcfail_scenario::CampaignSpec::parse_bytes(&bytes)
+        .map_err(|e| run_err(format!("invalid spec {}: {e}", path.display())))
+}
+
+fn scenario_plan(spec_path: &PathBuf) -> Result<String, CliError> {
+    let spec = load_spec(spec_path)?;
+    Ok(hpcfail_scenario::render_plan(&spec))
+}
+
+fn scenario_run(
+    spec_path: &PathBuf,
+    out: Option<&PathBuf>,
+    resume: bool,
+    workers: Option<usize>,
+) -> Result<String, CliError> {
+    let spec = load_spec(spec_path)?;
+    // The journal lives next to whatever names the run: the output file
+    // when given, else the spec itself.
+    let journal = {
+        let base = out.unwrap_or(spec_path);
+        PathBuf::from(format!("{}.journal", base.display()))
+    };
+    let options = hpcfail_scenario::RunOptions {
+        workers,
+        journal: Some(&journal),
+        resume,
+        max_cells: None,
+    };
+    let result = hpcfail_scenario::run_campaign(&spec, &options)
+        .map_err(|e| run_err(format!("campaign failed: {e}")))?;
+    let table = hpcfail_scenario::render_results(&spec, &result);
+    let text = match out {
+        Some(path) => {
+            std::fs::write(path, &table)
+                .map_err(|e| run_err(format!("cannot write {}: {e}", path.display())))?;
+            format!(
+                "wrote {} cell results to {}\n{}",
+                result.outcomes.len(),
+                path.display(),
+                hpcfail_scenario::render_summary(&result)
+            )
+        }
+        None => table,
+    };
+    if result.is_degraded() {
+        // Completed-with-degradations is a distinct exit code (3) so CI
+        // can tell "campaign ran but some cells failed" from a crash.
+        return Err(CliError {
+            message: text,
+            code: 3,
+        });
+    }
+    Ok(text)
 }
 
 /// Build the serve-layer state for a `serve` invocation: one tenant per
@@ -1095,6 +1250,125 @@ mod tests {
                 .code,
             2
         );
+    }
+
+    #[test]
+    fn parse_scenario() {
+        assert_eq!(
+            parse(&args(&["scenario", "plan", "camp.toml"])).unwrap(),
+            Command::ScenarioPlan {
+                spec: PathBuf::from("camp.toml")
+            }
+        );
+        assert_eq!(
+            parse(&args(&["scenario", "run", "camp.toml"])).unwrap(),
+            Command::ScenarioRun {
+                spec: PathBuf::from("camp.toml"),
+                out: None,
+                resume: false,
+                workers: None,
+            }
+        );
+        assert_eq!(
+            parse(&args(&[
+                "scenario", "run", "--out", "res.txt", "--resume", "--workers", "4", "camp.toml"
+            ]))
+            .unwrap(),
+            Command::ScenarioRun {
+                spec: PathBuf::from("camp.toml"),
+                out: Some(PathBuf::from("res.txt")),
+                resume: true,
+                workers: Some(4),
+            }
+        );
+        // Missing subcommand, missing spec, extra spec, bad workers.
+        assert_eq!(parse(&args(&["scenario"])).unwrap_err().code, 2);
+        assert_eq!(parse(&args(&["scenario", "plan"])).unwrap_err().code, 2);
+        assert_eq!(
+            parse(&args(&["scenario", "run", "a.toml", "b.toml"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            parse(&args(&["scenario", "run", "--workers", "0", "a.toml"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+    }
+
+    #[test]
+    fn scenario_plan_and_run_round_trip() {
+        let dir = std::env::temp_dir().join("hpcfail_cli_scenario_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("camp.toml");
+        std::fs::write(
+            &spec,
+            "[campaign]\nname = \"cli-camp\"\nseed = 5\n[fleet]\nsystems = [12]\n\
+             [grid]\nrate_scale = [1.0, 2.0]\n",
+        )
+        .unwrap();
+        let plan = execute(&Command::ScenarioPlan { spec: spec.clone() }).unwrap();
+        assert!(plan.contains("cells         2"), "{plan}");
+        let out = dir.join("results.txt");
+        let _ = std::fs::remove_file(dir.join("results.txt.journal"));
+        let msg = execute(&Command::ScenarioRun {
+            spec: spec.clone(),
+            out: Some(out.clone()),
+            resume: false,
+            workers: Some(2),
+        })
+        .unwrap();
+        assert!(msg.contains("wrote 2 cell results"), "{msg}");
+        let table = std::fs::read_to_string(&out).unwrap();
+        assert!(table.contains("fail/ny"), "{table}");
+        // The journal landed next to the output; a --resume rerun skips
+        // all completed cells and reproduces the same table.
+        assert!(dir.join("results.txt.journal").exists());
+        let msg = execute(&Command::ScenarioRun {
+            spec,
+            out: Some(out.clone()),
+            resume: true,
+            workers: Some(1),
+        })
+        .unwrap();
+        assert!(msg.contains("2 resumed from journal"), "{msg}");
+        assert_eq!(table, std::fs::read_to_string(&out).unwrap());
+    }
+
+    #[test]
+    fn scenario_degraded_campaign_exits_3() {
+        let dir = std::env::temp_dir().join("hpcfail_cli_scenario_degraded");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("poisoned.toml");
+        std::fs::write(
+            &spec,
+            "[campaign]\nname = \"poisoned\"\nseed = 5\n[fleet]\nsystems = [12]\n\
+             [grid]\nrate_scale = [1.0, 2.0]\n[chaos]\npanic_cells = [1]\n",
+        )
+        .unwrap();
+        let _ = std::fs::remove_file(dir.join("poisoned.toml.journal"));
+        let err = execute(&Command::ScenarioRun {
+            spec,
+            out: None,
+            resume: false,
+            workers: Some(2),
+        })
+        .unwrap_err();
+        assert_eq!(err.code, 3);
+        assert!(err.message.contains("degraded [panic]"), "{}", err.message);
+    }
+
+    #[test]
+    fn scenario_bad_spec_is_a_runtime_error() {
+        let dir = std::env::temp_dir().join("hpcfail_cli_scenario_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("bad.toml");
+        std::fs::write(&spec, "[campaign]\nname = \"x\"\n[fleet]\nsystems = [99]\n").unwrap();
+        let err = execute(&Command::ScenarioPlan { spec }).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("invalid spec"), "{}", err.message);
     }
 
     #[test]

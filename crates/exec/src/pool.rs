@@ -140,6 +140,22 @@ impl ParallelExecutor {
         self.try_map_range(items.len(), |i| task(i, &items[i]))
     }
 
+    /// Apply `task` to every index in `0..n`, isolating each task behind
+    /// its own `catch_unwind`: a panicking task settles to
+    /// `Err(panic message)` in its slot while every sibling still runs to
+    /// completion. This is the campaign-runner primitive — unlike
+    /// [`ParallelExecutor::try_map_range`], which stops handing out work
+    /// after the first panic, no task can abort the batch.
+    pub fn map_range_settled<O, F>(&self, n: usize, task: F) -> Vec<Result<O, String>>
+    where
+        O: Send,
+        F: Fn(usize) -> O + Sync,
+    {
+        self.map_range(n, |i| {
+            catch_unwind(AssertUnwindSafe(|| task(i))).map_err(|p| panic_message(p.as_ref()))
+        })
+    }
+
     fn run<O, F>(&self, n: usize, task: &F) -> Result<Vec<O>, (usize, Box<dyn Any + Send>)>
     where
         O: Send,
@@ -259,6 +275,28 @@ mod tests {
                 .unwrap_err();
             let ExecError::WorkerPanic { message, .. } = err;
             assert!(message.contains("boom"), "message {message:?}");
+        }
+    }
+
+    #[test]
+    fn settled_map_isolates_panics_per_task() {
+        for workers in [1, 2, 8] {
+            let pool = ParallelExecutor::with_workers(workers);
+            let out = pool.map_range_settled(64, |i| {
+                if i % 13 == 5 {
+                    panic!("poisoned {i}");
+                }
+                i * 2
+            });
+            assert_eq!(out.len(), 64, "workers {workers}");
+            for (i, slot) in out.iter().enumerate() {
+                if i % 13 == 5 {
+                    let msg = slot.as_ref().unwrap_err();
+                    assert!(msg.contains("poisoned"), "slot {i}: {msg:?}");
+                } else {
+                    assert_eq!(*slot.as_ref().unwrap(), i * 2, "slot {i}");
+                }
+            }
         }
     }
 

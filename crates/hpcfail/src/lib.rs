@@ -26,6 +26,7 @@ pub use hpcfail_checkpoint as checkpoint;
 pub use hpcfail_core as analysis;
 pub use hpcfail_exec as exec;
 pub use hpcfail_records as records;
+pub use hpcfail_scenario as scenario;
 pub use hpcfail_sched as sched;
 pub use hpcfail_serve as serve;
 pub use hpcfail_stats as stats;
@@ -42,6 +43,9 @@ pub mod prelude {
         FaultMix, HardwareType, IngestPolicy, LenientIngest, LoadedTrace, NodeId, QualityIssue,
         QualityReport, RecordError, RepairOutcome, RepairPolicy, RootCause, StoreError, SystemId,
         Timestamp, TraceIndex, TraceParts, TraceStore, TraceView, Workload,
+    };
+    pub use hpcfail_scenario::{
+        run_campaign, CampaignResult, CampaignSpec, CellOutcome, RunOptions,
     };
     pub use hpcfail_stats::dist::{
         Continuous, Discrete, Exponential, Gamma, LogNormal, Normal, Pareto, Poisson, Weibull,

@@ -49,7 +49,9 @@ pub use quality::{
     QuarantinedRow, RepairOutcome, RepairPolicy, Severity,
 };
 pub use record::FailureRecord;
-pub use store::{is_packed, LoadedTrace, StoreError, TraceStore, FORMAT_VERSION, HPCT_MAGIC};
+pub use store::{
+    checksum, is_packed, LoadedTrace, StoreError, TraceStore, FORMAT_VERSION, HPCT_MAGIC,
+};
 pub use time::Timestamp;
 pub use trace::FailureTrace;
 pub use workload::Workload;

@@ -1,0 +1,357 @@
+//! The crash-proof, resumable campaign runner.
+//!
+//! Cells are evaluated in **waves** of `runner.checkpoint_every` cells.
+//! Within a wave the pool fans cells out to workers behind per-cell
+//! `catch_unwind` isolation ([`hpcfail_exec::ParallelExecutor::map_range_settled`]):
+//! a panicking cell settles into a [`CellOutcome::Degraded`] row while
+//! every sibling completes. After each wave the outcomes are appended to
+//! the journal *in cell order* — the wave size is a spec parameter, not
+//! a function of the worker count, so the journal (and therefore every
+//! derived report) is byte-identical across pool sizes, and a kill at
+//! any moment loses at most one wave of work.
+
+use std::path::Path;
+
+use hpcfail_exec::ParallelExecutor;
+
+use crate::cell::{evaluate, CellError, CellMetrics};
+use crate::grid::{expand, Cell};
+use crate::journal::{Journal, JournalError, JournalHeader};
+use crate::spec::CampaignSpec;
+
+/// The settled result of one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// The cell ran to completion.
+    Completed {
+        /// Cell index.
+        cell: u64,
+        /// Measured statistics.
+        metrics: CellMetrics,
+    },
+    /// The cell failed — typed evaluation error or caught panic — and
+    /// the campaign carried on without it.
+    Degraded {
+        /// Cell index.
+        cell: u64,
+        /// Why it degraded.
+        cause: CellError,
+    },
+}
+
+impl CellOutcome {
+    /// The cell index this outcome settles.
+    pub fn cell(&self) -> u64 {
+        match self {
+            CellOutcome::Completed { cell, .. } | CellOutcome::Degraded { cell, .. } => *cell,
+        }
+    }
+
+    /// Whether the cell degraded.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, CellOutcome::Degraded { .. })
+    }
+}
+
+/// Campaign-level failures: everything that prevents the runner from
+/// producing a result at all. Per-cell trouble never lands here — it
+/// degrades the cell instead.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Journal trouble (I/O, or a resume file from another campaign).
+    Journal(JournalError),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Journal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<JournalError> for CampaignError {
+    fn from(e: JournalError) -> Self {
+        CampaignError::Journal(e)
+    }
+}
+
+/// How to run a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions<'a> {
+    /// Worker count (`None` → honor `HPCFAIL_THREADS`/cores).
+    pub workers: Option<usize>,
+    /// Journal path for checkpoint/resume (`None` → in-memory only).
+    pub journal: Option<&'a Path>,
+    /// Resume from an existing journal instead of starting fresh.
+    pub resume: bool,
+    /// Stop (successfully) at the first wave boundary at or beyond this
+    /// many settled cells — deterministic interrupt injection for
+    /// resume tests.
+    pub max_cells: Option<u64>,
+}
+
+/// A finished (or deliberately interrupted) campaign.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// Campaign name from the spec.
+    pub name: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Settled outcomes, in cell order. When `interrupted`, a prefix.
+    pub outcomes: Vec<CellOutcome>,
+    /// Total cells in the grid.
+    pub total_cells: u64,
+    /// Whether `max_cells` stopped the run before the grid was done.
+    pub interrupted: bool,
+    /// How many cells were loaded from the journal instead of re-run.
+    pub resumed_cells: u64,
+}
+
+impl CampaignResult {
+    /// Completed-cell count.
+    pub fn completed(&self) -> u64 {
+        self.outcomes.iter().filter(|o| !o.is_degraded()).count() as u64
+    }
+
+    /// Degraded-cell count.
+    pub fn degraded(&self) -> u64 {
+        self.outcomes.iter().filter(|o| o.is_degraded()).count() as u64
+    }
+
+    /// Whether any cell degraded (drives the CLI's exit status 3).
+    pub fn is_degraded(&self) -> bool {
+        self.outcomes.iter().any(|o| o.is_degraded())
+    }
+}
+
+/// Run a campaign to completion (or to `max_cells`).
+///
+/// Results are a pure function of `(spec, seed)`: per-cell seed streams
+/// and ordered waves make the outcome vector — and the journal bytes —
+/// independent of the worker count. Every cell runs behind its own
+/// `catch_unwind`; cells listed in `[chaos] panic_cells` panic
+/// deliberately inside that boundary, exercising the isolation path on
+/// demand.
+///
+/// # Errors
+///
+/// Only [`CampaignError`] — journal I/O or a resume-identity mismatch.
+/// Cell failures degrade rows instead.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    options: &RunOptions<'_>,
+) -> Result<CampaignResult, CampaignError> {
+    let cells = expand(spec);
+    let total_cells = cells.len() as u64;
+    let header = JournalHeader {
+        spec_digest: spec.digest,
+        seed: spec.seed,
+        n_cells: total_cells,
+    };
+
+    let (mut journal, mut outcomes) = match (options.journal, options.resume) {
+        (Some(path), true) => {
+            let (journal, loaded) = Journal::open_resume(path, header)?;
+            (Some(journal), loaded)
+        }
+        (Some(path), false) => (Some(Journal::create(path, header)?), Vec::new()),
+        (None, _) => (None, Vec::new()),
+    };
+    let resumed_cells = outcomes.len() as u64;
+
+    let pool = match options.workers {
+        Some(n) => ParallelExecutor::with_workers(n),
+        None => ParallelExecutor::from_env(),
+    };
+    let budget = options.max_cells.unwrap_or(u64::MAX);
+    let wave_size = spec.runner.checkpoint_every.max(1);
+
+    while (outcomes.len() as u64) < total_cells && (outcomes.len() as u64) < budget {
+        let start = outcomes.len();
+        let remaining = (total_cells as usize - start).min(wave_size);
+        // The wave boundary is a function of the spec alone — never
+        // shrunk to the interrupt budget, so an interrupted-then-resumed
+        // journal goes through the exact same waves as an uninterrupted
+        // run.
+        let wave: &[Cell] = &cells[start..start + remaining];
+        let settled = pool.map_range_settled(wave.len(), |i| {
+            let cell = &wave[i];
+            if spec.panic_cells.binary_search(&cell.index).is_ok() {
+                panic!("chaos: deliberate panic in cell {}", cell.index);
+            }
+            evaluate(spec, cell)
+        });
+        let wave_outcomes: Vec<CellOutcome> = settled
+            .into_iter()
+            .zip(wave)
+            .map(|(slot, cell)| match slot {
+                Ok(Ok(metrics)) => CellOutcome::Completed {
+                    cell: cell.index,
+                    metrics,
+                },
+                Ok(Err(cause)) => CellOutcome::Degraded {
+                    cell: cell.index,
+                    cause,
+                },
+                Err(panic_message) => CellOutcome::Degraded {
+                    cell: cell.index,
+                    cause: CellError::Panic(panic_message),
+                },
+            })
+            .collect();
+        if let Some(j) = journal.as_mut() {
+            j.append(&wave_outcomes)?;
+        }
+        outcomes.extend(wave_outcomes);
+    }
+
+    let interrupted = (outcomes.len() as u64) < total_cells;
+    Ok(CampaignResult {
+        name: spec.name.clone(),
+        seed: spec.seed,
+        outcomes,
+        total_cells,
+        interrupted,
+        resumed_cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    const SMALL: &str = r#"
+[campaign]
+name = "runner-test"
+seed = 5
+[fleet]
+systems = [12]
+[grid]
+era = ["full", "late"]
+rate_scale = [1.0, 2.0]
+[runner]
+checkpoint_every = 3
+"#;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("hpcfail_runner_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}.journal", std::process::id()))
+    }
+
+    #[test]
+    fn campaign_settles_every_cell_in_order() {
+        let spec = CampaignSpec::parse(SMALL).unwrap();
+        let result = run_campaign(
+            &spec,
+            &RunOptions {
+                workers: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(result.total_cells, 4);
+        assert!(!result.interrupted);
+        for (i, o) in result.outcomes.iter().enumerate() {
+            assert_eq!(o.cell(), i as u64);
+        }
+        // sys12's late era is ~2 months: insufficient data degrades it,
+        // the full-era cells complete — both kinds in one campaign.
+        assert!(result.completed() >= 2, "completed {}", result.completed());
+        assert!(result.degraded() >= 1, "degraded {}", result.degraded());
+    }
+
+    #[test]
+    fn chaos_cells_degrade_without_aborting_siblings() {
+        let src = format!("{SMALL}[chaos]\npanic_cells = [1]\n");
+        let spec = CampaignSpec::parse(&src).unwrap();
+        for workers in [1, 4] {
+            let result = run_campaign(
+                &spec,
+                &RunOptions {
+                    workers: Some(workers),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            match &result.outcomes[1] {
+                CellOutcome::Degraded {
+                    cause: CellError::Panic(msg),
+                    ..
+                } => assert!(msg.contains("chaos"), "{msg}"),
+                other => panic!("expected panic degradation, got {other:?}"),
+            }
+            assert!(matches!(result.outcomes[0], CellOutcome::Completed { .. }));
+            assert!(result.is_degraded());
+        }
+    }
+
+    #[test]
+    fn journaled_run_resumes_to_identical_outcomes() {
+        let spec = CampaignSpec::parse(SMALL).unwrap();
+        let baseline = run_campaign(&spec, &RunOptions::default()).unwrap();
+
+        let path = tmp("resume");
+        std::fs::remove_file(&path).ok();
+        let partial = run_campaign(
+            &spec,
+            &RunOptions {
+                journal: Some(&path),
+                max_cells: Some(3),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(partial.interrupted);
+        assert_eq!(partial.outcomes.len(), 3);
+
+        let resumed = run_campaign(
+            &spec,
+            &RunOptions {
+                journal: Some(&path),
+                resume: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!resumed.interrupted);
+        assert_eq!(resumed.resumed_cells, 3);
+        assert_eq!(resumed.outcomes, baseline.outcomes);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_refuses_a_different_spec() {
+        let spec = CampaignSpec::parse(SMALL).unwrap();
+        let path = tmp("refuse");
+        std::fs::remove_file(&path).ok();
+        run_campaign(
+            &spec,
+            &RunOptions {
+                journal: Some(&path),
+                max_cells: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let other = CampaignSpec::parse(&SMALL.replace("seed = 5", "seed = 6")).unwrap();
+        let err = run_campaign(
+            &other,
+            &RunOptions {
+                journal: Some(&path),
+                resume: true,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, CampaignError::Journal(JournalError::Mismatch { .. })),
+            "{err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -119,6 +119,19 @@ impl Policy for LongestUptime {
     }
 }
 
+/// Look a policy up by its report name (`random`, `least-failure-rate`,
+/// `longest-uptime`; underscores accepted for hyphen) — the hook that
+/// lets declarative scenario specs select a placement policy by string.
+/// Returns `None` for unknown names.
+pub fn by_name(name: &str) -> Option<Box<dyn Policy>> {
+    match name.replace('_', "-").as_str() {
+        "random" => Some(Box::new(RandomPlacement)),
+        "least-failure-rate" => Some(Box::new(LeastFailureRate)),
+        "longest-uptime" => Some(Box::new(LongestUptime)),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +198,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let picked = LongestUptime.select(&free, &ctx(&rates, &ups), 2, &mut rng);
         assert_eq!(picked, vec![1, 2]);
+    }
+
+    #[test]
+    fn by_name_resolves_every_policy() {
+        for (name, expect) in [
+            ("random", "random"),
+            ("least-failure-rate", "least-failure-rate"),
+            ("least_failure_rate", "least-failure-rate"),
+            ("longest-uptime", "longest-uptime"),
+            ("longest_uptime", "longest-uptime"),
+        ] {
+            assert_eq!(by_name(name).unwrap().name(), expect);
+        }
+        assert!(by_name("fifo").is_none());
+        assert!(by_name("").is_none());
     }
 
     #[test]

@@ -60,6 +60,22 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Install one correlated-burst process on **every** system (the
+    /// calibrated default only bursts the early NUMA/SMP clusters). The
+    /// burst remains a seeded part of the generator's per-node streams,
+    /// so the injection is deterministic in the trace seed.
+    pub fn with_bursts_everywhere(mut self, burst: crate::config::BurstConfig) -> Self {
+        self.for_each(|c| c.burst = Some(burst));
+        self
+    }
+
+    /// Replace every system's root-cause mix (the calibrated default is
+    /// per hardware type, Fig. 1(a)).
+    pub fn with_cause_mix(mut self, mix: crate::causes::CauseMix) -> Self {
+        self.for_each(|c| c.cause_mix = mix);
+        self
+    }
+
     /// Disable failure clustering (aftershocks) everywhere.
     pub fn without_aftershocks(mut self) -> Self {
         self.for_each(|c| {

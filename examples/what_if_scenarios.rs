@@ -1,66 +1,64 @@
-//! What-if scenarios with the fluent builder: how do the paper's headline
-//! statistics respond when the generator's mechanisms are switched off
-//! one at a time?
+//! What-if scenarios as a declarative fault-injection campaign: the
+//! perturbations that used to be hand-wired builder calls are now axes
+//! of a campaign spec, expanded into a deterministic cell grid and run
+//! on the crash-proof campaign runner.
 //!
 //! ```sh
 //! cargo run -p hpcfail --release --example what_if_scenarios
 //! ```
 
-use hpcfail::analysis::{periodic, tbf};
 use hpcfail::prelude::*;
-use hpcfail::synth::builder::ScenarioBuilder;
+use hpcfail::scenario::{render_plan, render_results, render_summary};
+
+const SPEC: &str = r#"
+# How do the paper's headline statistics respond to reliability and
+# staffing what-ifs, on a measured system and on an exascale projection?
+[campaign]
+name = "what-if"
+seed = 2006
+
+[fleet]
+systems = [20]
+
+[[projection]]
+name = "exascale_100k"
+nodes = 100000
+base_system = 18
+
+[grid]
+rate_scale = [0.5, 1.0, 2.0]   # hardware twice as good / as measured / twice as bad
+repair_scale = [1.0, 3.0]      # measured repair times vs a 3x-slower crew
+cause_mix = ["lanl", "hardware-heavy"]
+checkpoint = ["none", "young"] # and what it costs an application
+"#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sys = SystemId::new(20);
-    let (_, late) = tbf::paper_era_split();
+    let spec = CampaignSpec::parse(SPEC)?;
+    println!("{}", render_plan(&spec));
 
-    let scenarios: Vec<(&str, ScenarioBuilder)> = vec![
-        ("calibrated (paper-like)", ScenarioBuilder::lanl()),
-        (
-            "no failure clustering",
-            ScenarioBuilder::lanl().without_aftershocks(),
-        ),
-        (
-            "no correlated bursts",
-            ScenarioBuilder::lanl().without_bursts(),
-        ),
-        ("no daily rhythm", ScenarioBuilder::lanl().without_diurnal()),
-        (
-            "memoryless renewal (shape 1)",
-            ScenarioBuilder::lanl()
-                .uniform_gap_shape(1.0)
-                .without_aftershocks()
-                .without_bursts(),
-        ),
-    ];
+    let result = run_campaign(&spec, &RunOptions::default())?;
+    println!("{}", render_results(&spec, &result));
 
+    // The same campaign again — same seed, different worker count — is
+    // byte-identical: parallelism can never change the science.
+    let again = run_campaign(
+        &spec,
+        &RunOptions {
+            workers: Some(2),
+            ..Default::default()
+        },
+    )?;
+    assert_eq!(render_results(&spec, &again), render_results(&spec, &result));
     println!(
-        "{:<30} {:>8} {:>8} {:>10} {:>12}",
-        "scenario", "shape", "C^2", "zero-gaps", "hour ratio"
+        "re-run on a different worker count: byte-identical\n\n{}",
+        render_summary(&result)
     );
-    for (label, builder) in scenarios {
-        let trace = builder.build_system(sys)?;
-        let a = tbf::analyze(&trace, tbf::View::SystemWide(sys), Some(late))?;
-        let hour_ratio = periodic::analyze(&trace)
-            .map(|p| p.hourly_peak_to_trough())
-            .unwrap_or(f64::NAN);
-        let early = tbf::analyze(
-            &trace,
-            tbf::View::SystemWide(sys),
-            Some(tbf::paper_era_split().0),
-        )?;
-        println!(
-            "{label:<30} {:>8.2} {:>8.2} {:>9.1}% {:>12.2}",
-            a.weibull_shape.unwrap_or(f64::NAN),
-            a.c2,
-            early.zero_fraction * 100.0,
-            hour_ratio
-        );
-    }
     println!(
-        "\nreading: the paper's fitted shape 0.78 needs clustering; the 33% \
-         simultaneous failures need bursts; the 2x hour-of-day swing needs the \
-         diurnal profile — each mechanism maps to one observable."
+        "reading: halving the hardware failure rate buys back more machine \
+         availability than tripling repair speed loses, the checkpoint waste \
+         column prices each what-if for an application, and the 100k-node \
+         projection rows show the paper's exascale extrapolation under the \
+         same knobs."
     );
     Ok(())
 }

@@ -185,6 +185,51 @@ fn repro_table_text_byte_identical_across_worker_counts() {
     }
 }
 
+#[test]
+fn scenario_campaigns_identical_across_worker_counts() {
+    // The scenario engine rides on the same executor; a whole campaign
+    // (trace generation, era filters, checkpoint/sched sims, degraded
+    // cells) must be a pure function of (spec, seed) with the worker
+    // count a pure performance knob — same contract as the generator.
+    for &seed in &SEEDS {
+        let spec = hpcfail::scenario::CampaignSpec::parse(&format!(
+            "[campaign]\nname = \"determinism\"\nseed = {seed}\n\
+             [fleet]\nsystems = [12]\n\
+             [grid]\nera = [\"full\", \"late\"]\nrate_scale = [1.0, 2.0]\n\
+             checkpoint = [\"none\", \"hazard\"]\n[runner]\ncheckpoint_every = 3\n"
+        ))
+        .unwrap();
+        let reference = hpcfail::scenario::run_campaign(
+            &spec,
+            &hpcfail::scenario::RunOptions {
+                workers: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reference_text = hpcfail::scenario::render_results(&spec, &reference);
+        for &workers in &WORKER_COUNTS[1..] {
+            let parallel = hpcfail::scenario::run_campaign(
+                &spec,
+                &hpcfail::scenario::RunOptions {
+                    workers: Some(workers),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                parallel.outcomes, reference.outcomes,
+                "seed {seed} workers {workers}"
+            );
+            assert_eq!(
+                hpcfail::scenario::render_results(&spec, &parallel),
+                reference_text,
+                "seed {seed} workers {workers}: rendered campaign bytes differ"
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // 2. Golden statistical pins on the default seeded site trace
 // ---------------------------------------------------------------------
